@@ -1,0 +1,98 @@
+//! Criterion benches over the experiment building blocks — one per paper
+//! artifact family — so attack-layer performance regressions surface. The
+//! printing harnesses live in `src/bin/`; these bench the underlying
+//! (quiet) pipelines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smack::channel::{random_payload, run_channel, ChannelSpec};
+use smack::characterize::{figure1, figure2};
+use smack::ispectre::{leak_secret, ISpectreConfig};
+use smack::rsa::{self, RsaAttackConfig};
+use smack::srp::{self, SrpAttackConfig};
+use smack_crypto::Bignum;
+use smack_uarch::{Machine, MicroArch, ProbeKind, ThreadId};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+
+    // Figure 1 family: the timing characterization sweep.
+    g.bench_function("fig1_characterization", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MicroArch::CascadeLake.profile());
+            figure1(&mut m, ThreadId::T0, 20).unwrap()
+        })
+    });
+
+    // Figure 2 family: the counter profiling sweep.
+    g.bench_function("fig2_counters", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MicroArch::CascadeLake.profile());
+            figure2(&mut m, ThreadId::T0, 50).unwrap()
+        })
+    });
+
+    // Table 1 / Figure 3 family: a covert-channel transmission.
+    let payload = random_payload(64, 3);
+    g.bench_function("table1_channel_64bits", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MicroArch::CascadeLake.profile());
+            run_channel(&mut m, &ChannelSpec::flush_reload(ProbeKind::Flush), &payload, false)
+                .unwrap()
+        })
+    });
+
+    // Figures 4-5 family: one RSA attack trace + decode.
+    let mut rng = SmallRng::seed_from_u64(5);
+    let exp = Bignum::random_bits(&mut rng, 96);
+    let rsa_cfg = RsaAttackConfig::new(ProbeKind::Flush);
+    let victim = rsa::build_victim(&rsa_cfg);
+    g.bench_function("fig5_rsa_trace_96b", |b| {
+        b.iter(|| {
+            let t = rsa::collect_trace(MicroArch::TigerLake, &victim, &exp, &rsa_cfg, 9).unwrap();
+            rsa::decode_trace(&t, exp.bit_len())
+        })
+    });
+
+    // Table 2 / Figure 6 family: one SRP single-trace attack.
+    let srp_b = Bignum::random_bits(&mut rng, 96);
+    let srp_cfg = SrpAttackConfig::new(2048);
+    g.bench_function("table2_srp_trace_96b", |b| {
+        b.iter(|| single_trace(&srp_b, &srp_cfg))
+    });
+
+    // Tables 3-4 family: one ISpectre byte.
+    let spectre_cfg = ISpectreConfig::new(ProbeKind::Store);
+    g.bench_function("table4_ispectre_byte", |b| {
+        b.iter(|| leak_secret(MicroArch::CascadeLake, b"A", &spectre_cfg, 12).unwrap())
+    });
+
+    // Section 6.1 family: one detection window pair.
+    let det_cfg = smack_detection::DetectionConfig {
+        window_cycles: 40_000,
+        windows_per_run: 2,
+        ..Default::default()
+    };
+    g.bench_function("table5_detection_windows", |b| {
+        b.iter(|| {
+            smack_detection::attack_windows(
+                MicroArch::CascadeLake,
+                smack_detection::AttackLoop::PrimeProbe(ProbeKind::Store),
+                &det_cfg,
+                13,
+            )
+            .unwrap()
+        })
+    });
+
+    g.finish();
+}
+
+fn single_trace(b: &Bignum, cfg: &SrpAttackConfig) -> f64 {
+    srp::single_trace_attack(MicroArch::TigerLake, b, cfg, 7).unwrap().leakage
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

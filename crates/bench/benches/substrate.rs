@@ -1,0 +1,95 @@
+//! Criterion micro-benches for the substrates: simulator stepping, cache
+//! operations, probe primitives, bignum/Montgomery arithmetic, SHA-256 and
+//! kNN classification.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smack::oracle::{EvictionSet, OraclePage};
+use smack::probe::Prober;
+use smack_crypto::{Bignum, MontCtx, Sha256};
+use smack_ml::{KnnClassifier, Sample};
+use smack_uarch::asm::Assembler;
+use smack_uarch::isa::Reg;
+use smack_uarch::{Addr, Machine, MicroArch, ProbeKind, ThreadId};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    // Tight arithmetic loop throughput.
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("engine_arith_loop_10k", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MicroArch::CascadeLake.profile());
+            let mut a = Assembler::new(0x40_0000);
+            a.mov_imm(Reg::R1, 10_000)
+                .label("l")
+                .add_imm(Reg::R2, 3)
+                .add_imm(Reg::R1, -1)
+                .cmp_imm(Reg::R1, 0)
+                .jne("l")
+                .halt();
+            let p = a.assemble().unwrap();
+            m.load_program(&p);
+            m.start_program(ThreadId::T1, p.entry(), &[]);
+            m.run_until_halt(ThreadId::T1, 100_000).unwrap();
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("attack_primitives");
+    g.bench_function("prime_probe_round", |b| {
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        let ev = EvictionSet::for_machine(&m, 0x10_0000, 9);
+        ev.install(&mut m);
+        let mut p = Prober::new(ThreadId::T0);
+        b.iter(|| {
+            ev.prime(&mut m, &mut p).unwrap();
+            ev.probe(&mut m, &mut p, ProbeKind::Store).unwrap()
+        })
+    });
+    g.bench_function("smc_probe_measure", |b| {
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        OraclePage::build(Addr(0x2_0000), 1).install(&mut m);
+        let mut p = Prober::new(ThreadId::T0);
+        b.iter(|| p.measure(&mut m, ProbeKind::Flush, Addr(0x2_0000)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut n = Bignum::random_bits(&mut rng, 1024);
+    if n.is_even() {
+        n = n.add(&Bignum::one());
+    }
+    let ctx = MontCtx::new(&n);
+    let a = ctx.to_mont(&Bignum::random_below(&mut rng, &n));
+    let bb = ctx.to_mont(&Bignum::random_below(&mut rng, &n));
+    g.bench_function("mont_mul_1024", |b| b.iter(|| ctx.mul(&a, &bb)));
+    let e = Bignum::random_bits(&mut rng, 256);
+    let base = Bignum::random_below(&mut rng, &n);
+    g.bench_function("modexp_sliding_window_256e_1024m", |b| {
+        b.iter(|| smack_crypto::modexp::sliding_window(&base, &e, &n))
+    });
+    let data = vec![0xa5u8; 4096];
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("sha256_4k", |b| b.iter(|| Sha256::digest(&data)));
+    g.finish();
+}
+
+fn bench_ml(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ml");
+    let train: Vec<Sample> = (0..200)
+        .map(|i| {
+            let x = (i % 10) as f64;
+            Sample::new(vec![x, x * 0.5, 64.0 - x], i % 4)
+        })
+        .collect();
+    let knn = KnnClassifier::fit(3, train);
+    g.bench_function("knn_predict_200x3", |b| b.iter(|| knn.predict(&[3.0, 1.5, 61.0])));
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_crypto, bench_ml);
+criterion_main!(benches);

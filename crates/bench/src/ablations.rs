@@ -1,0 +1,222 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! These do not correspond to paper artifacts; they interrogate the model:
+//! *why* does SMaCk win? Each ablation switches one mechanism off (or
+//! sweeps one parameter) and re-measures an attack.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smack::channel::{random_payload, run_channel, ChannelSpec};
+use smack::rsa::{self, RsaAttackConfig};
+use smack_crypto::Bignum;
+use smack_uarch::{Machine, MicroArch, NoiseConfig, ProbeKind, UarchProfile};
+use smack_victims::modexp::{ModexpAlgorithm, ModexpVictimBuilder};
+
+use crate::report::{banner, f, s, Table};
+use crate::Mode;
+
+/// Sweep the machine-clear latency surcharge and measure the covert
+/// channel's error rate: the SMC margin *is* the attack's robustness.
+pub fn smc_penalty_sweep(mode: Mode) {
+    banner("Ablation — SMC latency surcharge vs. channel error rate");
+    let bits = mode.pick(200, 1_000);
+    let payload = random_payload(bits, 0xab1);
+    let mut t = Table::new(&["smc_extra (cycles)", "margin over L2 (cycles)", "error rate (%)"]);
+    for smc_extra in [4u32, 8, 16, 40, 120, 275] {
+        let mut profile: UarchProfile = MicroArch::CascadeLake.profile();
+        let mut costs = profile.probe_costs.get(ProbeKind::Store);
+        costs.smc_extra = smc_extra;
+        profile.probe_costs.set(ProbeKind::Store, costs);
+        let margin = (costs.base + costs.smc_extra).saturating_sub(costs.base + costs.l2);
+        let mut m = Machine::new(profile);
+        let r = run_channel(&mut m, &ChannelSpec::prime_probe(ProbeKind::Store), &payload, false)
+            .expect("channel runs");
+        t.row(vec![s(smc_extra), s(margin), f(r.error_rate_pct, 1)]);
+    }
+    t.print();
+    t.write_csv("ablation_smc_penalty");
+    println!();
+    println!(
+        "as the machine-clear surcharge shrinks toward the noise floor the \
+         channel degrades into Mastik-grade unreliability."
+    );
+}
+
+/// Switch off the front-end's L2-latency hiding: classic execute-probing
+/// suddenly has a usable margin, explaining *why* Mastik struggles on real
+/// front ends.
+pub fn frontend_ablation(mode: Mode) {
+    banner("Ablation — front-end L2-latency hiding vs. the Mastik margin");
+    let samples = mode.pick(50, 500);
+    let mut t = Table::new(&["front-end", "execute L1i (cycles)", "execute L2 (cycles)", "margin"]);
+    for (label, hidden) in [("pipelined (real)", true), ("naive (exposed)", false)] {
+        let mut profile = MicroArch::CascadeLake.profile();
+        if !hidden {
+            profile.hierarchy.ifetch_extra_l2 = profile.hierarchy.lat_l2;
+        }
+        let mut m = Machine::new(profile);
+        let row = smack::characterize::figure1_mastik_row(&mut m, smack_uarch::ThreadId::T0, samples)
+            .expect("mastik row runs");
+        let mean = |st: smack_uarch::Placement| -> f64 {
+            row.iter().find(|c| c.state == st).map(|c| c.stats.mean).unwrap_or(f64::NAN)
+        };
+        let l1i = mean(smack_uarch::Placement::L1i);
+        let l2 = mean(smack_uarch::Placement::L2);
+        t.row(vec![label.to_owned(), f(l1i, 1), f(l2, 1), f(l2 - l1i, 1)]);
+    }
+    t.print();
+    t.write_csv("ablation_frontend");
+}
+
+/// Sweep the timer granularity (Intel's 1 cycle to far coarser than AMD's
+/// 21) and measure channel reliability — the paper's §7 discussion of AMD
+/// timer resolution.
+pub fn timer_resolution_sweep(mode: Mode) {
+    banner("Ablation — rdtsc resolution vs. channel error rate");
+    let bits = mode.pick(200, 1_000);
+    let payload = random_payload(bits, 0xab2);
+    let mut t = Table::new(&["tsc resolution (cycles)", "error rate (%)"]);
+    for res in [1u32, 7, 21, 63, 127, 255] {
+        let mut profile = MicroArch::CascadeLake.profile();
+        profile.tsc_resolution = res;
+        let mut m = Machine::new(profile);
+        let r = run_channel(&mut m, &ChannelSpec::prime_probe(ProbeKind::Store), &payload, false)
+            .expect("channel runs");
+        t.row(vec![s(res), f(r.error_rate_pct, 1)]);
+    }
+    t.print();
+    t.write_csv("ablation_timer");
+    println!();
+    println!(
+        "SMaCk's multi-hundred-cycle margins survive even very coarse timers \
+         — the paper's point about AMD's 21-cycle rdtsc hurting Mastik much \
+         more than SMaCk."
+    );
+}
+
+/// Sweep the prime→probe wait (the paper's §5.2 τ_w discussion) against
+/// single-trace RSA recovery.
+pub fn tau_w_sweep(mode: Mode) {
+    banner("Ablation — τ_w (prime→probe wait) vs. RSA single-trace recovery");
+    let bits = mode.pick(128, 512);
+    let mut rng = SmallRng::seed_from_u64(0xab3);
+    let exp = Bignum::random_bits(&mut rng, bits);
+    let mut t = Table::new(&["wait (cycles)", "single-trace recovery"]);
+    for wait in [50u64, 100, 200, 400, 800, 1600] {
+        let cfg = RsaAttackConfig {
+            wait_cycles: wait,
+            noise: NoiseConfig::quiet(),
+            ..RsaAttackConfig::new(ProbeKind::Flush)
+        };
+        let victim = rsa::build_victim(&cfg);
+        let trace = rsa::collect_trace(MicroArch::TigerLake, &victim, &exp, &cfg, 7)
+            .expect("trace collects");
+        let rate = rsa::score_bits(&rsa::decode_trace(&trace, exp.bit_len()), &exp);
+        t.row(vec![s(wait), f(rate, 3)]);
+    }
+    t.print();
+    t.write_csv("ablation_tau_w");
+    println!();
+    println!(
+        "too little wait starves the victim of progress between samples; too \
+         much loses multiplications — the paper settled on a 700-iteration \
+         loop for the same trade-off."
+    );
+}
+
+/// §6.2 countermeasure: the identical attack against the leaky
+/// square-and-multiply victim vs. the constant-time Montgomery ladder.
+pub fn countermeasure(mode: Mode) {
+    banner("Countermeasure — constant-time exponentiation defeats the attack (§6.2)");
+    let bits = mode.pick(128, 512);
+    let mut rng = SmallRng::seed_from_u64(0xab4);
+    let exp = Bignum::random_bits(&mut rng, bits);
+    let cfg = RsaAttackConfig { noise: NoiseConfig::quiet(), ..RsaAttackConfig::new(ProbeKind::Flush) };
+    let truth_ones =
+        (0..exp.bit_len()).filter(|i| exp.bit(*i)).count() as f64 / exp.bit_len() as f64;
+    let mut t = Table::new(&[
+        "victim",
+        "single-trace recovery",
+        "decoded ones fraction",
+        "true ones fraction",
+    ]);
+    for (label, algorithm) in [
+        ("square-and-multiply (Libgcrypt 1.5.1)", ModexpAlgorithm::BinaryLtr),
+        ("Montgomery ladder (constant-time)", ModexpAlgorithm::MontgomeryLadder),
+    ] {
+        let mut b = ModexpVictimBuilder::new(algorithm);
+        b.operand_bits(cfg.operand_bits);
+        let victim = b.build();
+        let trace = rsa::collect_trace(MicroArch::TigerLake, &victim, &exp, &cfg, 11)
+            .expect("trace collects");
+        let decoded = rsa::decode_trace(&trace, exp.bit_len());
+        let rate = rsa::score_bits(&decoded, &exp);
+        let ones = decoded.iter().filter(|b| **b).count() as f64 / decoded.len().max(1) as f64;
+        t.row(vec![label.to_owned(), f(rate, 3), f(ones, 2), f(truth_ones, 2)]);
+    }
+    t.print();
+    t.write_csv("ablation_countermeasure");
+    println!();
+    println!(
+        "the leaky victim's decoded ones-fraction tracks the key; the ladder \
+         multiplies on every bit, so the attacker decodes a structureless \
+         all-ones stream — the schedule carries no key information."
+    );
+}
+
+/// How much does the SMC storm slow the sibling? (§4.2's 235-cycle clear
+/// and §7's up-to-10x claims.)
+pub fn sibling_slowdown(mode: Mode) {
+    banner("Ablation — victim slowdown under SMC machine-clear storms");
+    let _ = mode;
+    use smack::oracle::EvictionSet;
+    use smack::probe::Prober;
+    use smack_uarch::asm::Assembler;
+    use smack_uarch::isa::Reg;
+    use smack_uarch::{PerfEvent, ThreadId};
+
+    let mut t = Table::new(&["attacker behaviour", "victim instructions / 100k cycles", "slowdown"]);
+    let mut baseline = 0.0f64;
+    for (label, attack) in [("idle", false), ("Prime+iStore storm", true)] {
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        let mut a = Assembler::new(0x60_0000);
+        a.label("spin").add_imm(Reg::R2, 1).jmp("spin");
+        let prog = a.assemble().expect("victim assembles");
+        m.load_program(&prog);
+        let ev = EvictionSet::for_machine(&m, 0x10_0000, 7);
+        ev.install(&mut m);
+        let mut p = Prober::new(ThreadId::T0);
+        m.start_program(ThreadId::T1, prog.entry(), &[]);
+        let before = m.counters(ThreadId::T1).snapshot();
+        let start = m.clock(ThreadId::T0);
+        while m.clock(ThreadId::T0) - start < 100_000 {
+            if attack {
+                ev.prime(&mut m, &mut p).expect("prime");
+                ev.probe(&mut m, &mut p, ProbeKind::Store).expect("probe");
+            } else {
+                m.advance(ThreadId::T0, 500).expect("advance");
+            }
+        }
+        let retired = m.counters(ThreadId::T1).delta(&before, PerfEvent::InstRetired) as f64;
+        if !attack {
+            baseline = retired;
+        }
+        let slowdown = if retired > 0.0 { baseline / retired } else { f64::INFINITY };
+        t.row(vec![label.to_owned(), f(retired, 0), format!("{:.1}x", slowdown)]);
+    }
+    t.print();
+    t.write_csv("ablation_slowdown");
+    println!();
+    println!("paper: a single clear stalls the sibling ~235 cycles; sustained \
+              storms slow it several-fold (§7 reports up to 10x in the case studies).");
+}
+
+/// Run every ablation.
+pub fn all(mode: Mode) {
+    smc_penalty_sweep(mode);
+    frontend_ablation(mode);
+    timer_resolution_sweep(mode);
+    tau_w_sweep(mode);
+    countermeasure(mode);
+    sibling_slowdown(mode);
+}

@@ -1,0 +1,7 @@
+//! Ablation studies: SMC margin, front-end latency hiding, timer
+//! resolution, τ_w, the §6.2 constant-time countermeasure, and sibling
+//! slowdown. Pass `--full` for larger sample counts.
+fn main() {
+    let mode = smack_bench::Mode::from_args();
+    smack_bench::ablations::all(mode);
+}

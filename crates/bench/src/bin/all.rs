@@ -1,0 +1,19 @@
+//! Regenerate every table and figure in sequence (run the `fingerprint`
+//! and `ablations` binaries separately for Case Study II step 1 and the
+//! ablation studies). Pass `--full` for paper-scale sample counts.
+use smack_bench::experiments as e;
+
+fn main() {
+    let mode = smack_bench::Mode::from_args();
+    e::fig1(mode);
+    e::fig2(mode);
+    e::table1(mode);
+    e::fig3(mode);
+    e::fig4(mode);
+    e::fig5(mode);
+    e::table2(mode);
+    e::fig6(mode);
+    e::table3(mode);
+    e::table4(mode);
+    e::table5(mode);
+}

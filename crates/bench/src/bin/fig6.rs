@@ -1,0 +1,6 @@
+//! Regenerate the paper's fig6 (see `smack-bench` docs). Pass `--full`
+//! for paper-scale sample counts.
+fn main() {
+    let mode = smack_bench::Mode::from_args();
+    smack_bench::experiments::fig6(mode);
+}

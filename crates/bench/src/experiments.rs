@@ -1,0 +1,537 @@
+//! The per-table/per-figure experiment implementations.
+//!
+//! Each function prints the paper-comparable rows, writes a CSV under
+//! `target/repro/`, and returns its headline numbers so `EXPERIMENTS.md`
+//! and the integration tests can assert on shapes.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smack::channel::{run_channel, random_payload, ChannelSpec};
+use smack::characterize::{figure1, figure1_mastik_row, figure2};
+use smack::ispectre::{applicability, leak_secret, Applicability, ISpectreConfig};
+use smack::rsa::{self, RsaAttackConfig};
+use smack::srp::{self, SrpAttackConfig};
+use smack_crypto::Bignum;
+use smack_mastik::MastikMonitor;
+use smack_uarch::{Machine, MicroArch, NoiseConfig, Placement, ProbeKind, ThreadId};
+
+use crate::report::{banner, f, s, Table};
+use crate::Mode;
+
+/// Figure 1: probe latency per cache state on Cascade Lake, plus the
+/// Mastik comparison row. Returns the store L1i/LLC margin.
+pub fn fig1(mode: Mode) -> f64 {
+    banner("Figure 1 — probe timing per microarchitectural state (Cascade Lake)");
+    let samples = mode.pick(100, 10_000);
+    let mut m = Machine::new(MicroArch::CascadeLake.profile());
+    let cells = figure1(&mut m, ThreadId::T0, samples).expect("characterization runs");
+    let mut m2 = Machine::new(MicroArch::CascadeLake.profile());
+    let mastik = figure1_mastik_row(&mut m2, ThreadId::T0, samples).expect("mastik row runs");
+
+    let mut t = Table::new(&["probe", "L1i", "L1d", "L2", "LLC", "DRAM"]);
+    let mean = |cells: &[smack::characterize::Figure1Cell], k: ProbeKind, st: Placement| -> f64 {
+        cells
+            .iter()
+            .find(|c| c.kind == k && c.state == st)
+            .map(|c| c.stats.mean)
+            .unwrap_or(f64::NAN)
+    };
+    for kind in ProbeKind::ALL {
+        if !cells.iter().any(|c| c.kind == kind) {
+            continue;
+        }
+        t.row(vec![
+            s(kind),
+            f(mean(&cells, kind, Placement::L1i), 0),
+            f(mean(&cells, kind, Placement::L1d), 0),
+            f(mean(&cells, kind, Placement::L2), 0),
+            f(mean(&cells, kind, Placement::Llc), 0),
+            f(mean(&cells, kind, Placement::DramOnly), 0),
+        ]);
+    }
+    t.row(vec![
+        "mastik (execute)".to_owned(),
+        f(mean(&mastik, ProbeKind::Execute, Placement::L1i), 0),
+        f(mean(&mastik, ProbeKind::Execute, Placement::L1d), 0),
+        f(mean(&mastik, ProbeKind::Execute, Placement::L2), 0),
+        f(mean(&mastik, ProbeKind::Execute, Placement::Llc), 0),
+        f(mean(&mastik, ProbeKind::Execute, Placement::DramOnly), 0),
+    ]);
+    t.print();
+    t.write_csv("fig1");
+    println!();
+    println!(
+        "paper shape: clflush/store/lock/prefetch/clwb spike on L1i-resident lines \
+         (SMC machine clear); Mastik's execute probe sees a 1-2 cycle L1i/L2 gap."
+    );
+    mean(&cells, ProbeKind::Store, Placement::L1i) - mean(&cells, ProbeKind::Store, Placement::Llc)
+}
+
+/// Figure 2: counter deltas per conflicting probe, Intel + AMD.
+pub fn fig2(mode: Mode) {
+    banner("Figure 2 — SMC reverse engineering via performance counters");
+    let reps = mode.pick(200, 10_000);
+    for arch in [MicroArch::CascadeLake, MicroArch::AmdRyzen5] {
+        println!("--- {arch} ---");
+        let mut m = Machine::new(arch.profile());
+        let profiles = figure2(&mut m, ThreadId::T0, reps).expect("counter profiling runs");
+        let events = smack::characterize::FIGURE2_EVENTS;
+        let mut header: Vec<&str> = vec!["probe"];
+        let names: Vec<String> = events.iter().map(|e| e.name().to_owned()).collect();
+        header.extend(names.iter().map(|n| n.as_str()));
+        let mut t = Table::new(&header);
+        for p in &profiles {
+            let mut row = vec![s(p.kind)];
+            for (_, v) in &p.deltas {
+                row.push(f(*v, 1));
+            }
+            t.row(row);
+        }
+        t.print();
+        t.write_csv(&format!("fig2_{}", if arch == MicroArch::CascadeLake { "intel" } else { "amd" }));
+        println!();
+    }
+    println!(
+        "paper shape: one MACHINE_CLEARS.COUNT per conflict; MACHINE_CLEARS.SMC \
+         double-counts clflushopt/clwb; store serializes ~200 cycles in the \
+         scoreboard; AMD shows ~500 back-pressure stall cycles and refills via L2."
+    );
+}
+
+/// One Table 1 row.
+#[derive(Clone, Debug)]
+pub struct ChannelRow {
+    /// Channel name.
+    pub name: String,
+    /// Applicability.
+    pub applicable: bool,
+    /// Bandwidth (kbit/s), if applicable.
+    pub kbit_per_s: f64,
+    /// Error rate (%), if applicable.
+    pub error_pct: f64,
+}
+
+/// Table 1: the twelve covert channels on Cascade Lake (plus the paper's
+/// AMD Prime+iLock note). Returns the rows.
+pub fn table1(mode: Mode) -> Vec<ChannelRow> {
+    banner("Table 1 — SMC covert channels (Cascade Lake)");
+    let bits = mode.pick(300, 4_000);
+    let payload = random_payload(bits, 0x7ab1e1);
+    let mut rows = Vec::new();
+    let mut t = Table::new(&["covert channel", "app.", "bit rate (kbit/s)", "error rate (%)"]);
+    for spec in ChannelSpec::table1() {
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        match run_channel(&mut m, &spec, &payload, false) {
+            Ok(r) => {
+                t.row(vec![r.name.clone(), s("yes"), f(r.kbit_per_s, 1), f(r.error_rate_pct, 1)]);
+                rows.push(ChannelRow {
+                    name: r.name,
+                    applicable: true,
+                    kbit_per_s: r.kbit_per_s,
+                    error_pct: r.error_rate_pct,
+                });
+            }
+            Err(_) => {
+                t.row(vec![spec.name(), s("no"), s("N/A"), s("N/A")]);
+                rows.push(ChannelRow {
+                    name: spec.name(),
+                    applicable: false,
+                    kbit_per_s: 0.0,
+                    error_pct: 0.0,
+                });
+            }
+        }
+    }
+    // The paper's AMD note: Prime+iLock on Ryzen 5 is slower and noisier.
+    let mut m = Machine::new(MicroArch::AmdRyzen5.profile());
+    if let Ok(r) = run_channel(&mut m, &ChannelSpec::prime_probe(ProbeKind::Lock), &payload, false)
+    {
+        t.row(vec![
+            format!("{} (AMD Ryzen 5)", r.name),
+            s("yes"),
+            f(r.kbit_per_s, 1),
+            f(r.error_rate_pct, 1),
+        ]);
+        rows.push(ChannelRow {
+            name: format!("{} (AMD)", r.name),
+            applicable: true,
+            kbit_per_s: r.kbit_per_s,
+            error_pct: r.error_rate_pct,
+        });
+    }
+    t.print();
+    t.write_csv("table1");
+    println!();
+    println!(
+        "paper shape: Flush+iReload channels are several times faster than \
+         Prime+iProbe; Flush+iLock and Flush+iStore are N/A (read-only shared \
+         page); error rates stay in the low percent."
+    );
+    rows
+}
+
+/// Figure 3: receiver trace with assigned bits (Tiger Lake, Prime+iStore).
+pub fn fig3(mode: Mode) {
+    banner("Figure 3 — covert-channel receiver trace (Tiger Lake, Prime+iStore)");
+    let bits = mode.pick(24, 48);
+    // A recognizable pattern, as in the paper's plot.
+    let payload: Vec<bool> = (0..bits).map(|i| matches!(i % 4, 0 | 2 | 3)).collect();
+    let mut m = Machine::new(MicroArch::TigerLake.profile());
+    let r = run_channel(&mut m, &ChannelSpec::prime_probe(ProbeKind::Store), &payload, true)
+        .expect("channel runs");
+    let mut t = Table::new(&["sample", "clock", "min way timing", "activity", "slot", "sent bit"]);
+    for (i, p) in r.trace.iter().enumerate() {
+        t.row(vec![
+            s(i),
+            s(p.at),
+            s(p.timing),
+            s(if p.activity { "*" } else { "" }),
+            s(p.slot),
+            s(payload[p.slot] as u8),
+        ]);
+    }
+    t.print();
+    t.write_csv("fig3");
+    println!();
+    println!(
+        "decoded {} bits with {} errors ({:.1}%); low-timing samples mark the \
+         sender's evictions, exactly like the paper's low peaks.",
+        r.bits, r.errors, r.error_rate_pct
+    );
+}
+
+/// Figure 4: per-sample minimum probe timing while an RSA victim runs —
+/// low dips are multiplication activity.
+pub fn fig4(mode: Mode) {
+    banner("Figure 4 — multiplication activity via Prime+iStore (Tiger Lake)");
+    let bits = mode.pick(96, 256);
+    let mut rng = SmallRng::seed_from_u64(0xf19);
+    let exp = Bignum::random_bits(&mut rng, bits);
+    let cfg = RsaAttackConfig::new(ProbeKind::Store);
+    let victim = rsa::build_victim(&cfg);
+    let trace =
+        rsa::collect_trace(MicroArch::TigerLake, &victim, &exp, &cfg, 0xf4).expect("trace");
+    let mut t = Table::new(&["sample", "min timing", "activity"]);
+    for (i, sample) in trace.samples.iter().enumerate().take(400) {
+        t.row(vec![s(i), s(sample.min_timing), s(if sample.active { "*" } else { "" })]);
+    }
+    t.print();
+    t.write_csv("fig4");
+    let events = rsa::events_from_samples(&trace.samples);
+    println!();
+    println!(
+        "{} samples, {} activity events for {} true multiplications — low \
+         timings are evictions by the victim's mul_n calls (paper: \"low timing \
+         values indicate multiplication activity\").",
+        trace.samples.len(),
+        events.len(),
+        (0..exp.bit_len()).filter(|i| exp.bit(*i)).count(),
+    );
+}
+
+/// One Figure 5 row.
+#[derive(Clone, Debug)]
+pub struct Fig5Row {
+    /// Probe class.
+    pub kind: ProbeKind,
+    /// Single-trace recovery rate.
+    pub single_trace: f64,
+    /// Traces needed for 70% (None = not reached within the budget).
+    pub traces_for_70: Option<usize>,
+    /// Best recovery achieved.
+    pub best: f64,
+}
+
+/// Figure 5: traces needed for 70% key recovery per probe class.
+pub fn fig5(mode: Mode) -> Vec<Fig5Row> {
+    banner("Figure 5 — traces needed for 70% RSA key recovery (Tiger Lake)");
+    let bits = mode.pick(160, 512);
+    let max_traces = mode.pick(12, 25);
+    let mut rng = SmallRng::seed_from_u64(0xf5);
+    let exp = Bignum::random_bits(&mut rng, bits);
+    let mut rows = Vec::new();
+    let mut t = Table::new(&[
+        "probe",
+        "single-trace (aligned)",
+        "single-trace (positional)",
+        "traces for 70% (aligned)",
+        "best (aligned)",
+    ]);
+    for kind in [ProbeKind::Flush, ProbeKind::Store, ProbeKind::Lock, ProbeKind::Clwb] {
+        let cfg = RsaAttackConfig::new(kind);
+        let victim = rsa::build_victim(&cfg);
+        let mut decodes: Vec<Vec<bool>> = Vec::new();
+        let mut aligned_rates = Vec::new();
+        let mut positional_single = 0.0;
+        let mut used = None;
+        for trace_idx in 0..max_traces {
+            let trace =
+                rsa::collect_trace(MicroArch::TigerLake, &victim, &exp, &cfg, 2_000 + trace_idx as u64)
+                    .expect("attack runs");
+            let decoded = rsa::decode_trace(&trace, exp.bit_len());
+            if trace_idx == 0 {
+                positional_single = rsa::score_bits(&decoded, &exp);
+            }
+            decodes.push(decoded);
+            let combined = rsa::majority_vote(&decodes, exp.bit_len());
+            let rate = rsa::score_bits_aligned(&combined, &exp);
+            aligned_rates.push(rate);
+            if rate >= 0.70 && used.is_none() {
+                used = Some(trace_idx + 1);
+                break;
+            }
+        }
+        let single = aligned_rates.first().copied().unwrap_or(0.0);
+        let best = aligned_rates.iter().cloned().fold(0.0f64, f64::max);
+        t.row(vec![
+            s(kind),
+            f(single, 3),
+            f(positional_single, 3),
+            used.map_or_else(|| format!(">{max_traces}"), |u| u.to_string()),
+            f(best, 3),
+        ]);
+        rows.push(Fig5Row { kind, single_trace: single, traces_for_70: used, best });
+    }
+    t.print();
+    t.write_csv("fig5");
+    println!();
+    println!(
+        "paper shape: a single trace leaks ~63% of the key; Flush needs the \
+         fewest traces (10), Store ~13, Lock ~20, Clwb the most."
+    );
+    rows
+}
+
+/// One Table 2 cell result.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Group size in bits.
+    pub group_bits: usize,
+    /// Mean Prime+iStore leakage.
+    pub smack: f64,
+    /// Mean Mastik leakage.
+    pub mastik: f64,
+}
+
+/// Table 2: SRP single-trace leakage, Prime+iStore vs Mastik.
+pub fn table2(mode: Mode) -> Vec<Table2Row> {
+    banner("Table 2 — SRP single-trace leakage per group size (Tiger Lake)");
+    let keys = mode.pick(3, 100);
+    let exp_bits = mode.pick(160, 0); // 0 = full group size
+    let mut rows = Vec::new();
+    let mut t = Table::new(&["group size", "Prime+iStore", "Mastik (PnP)"]);
+    for group in smack_crypto::SrpGroup::PAPER_SIZES {
+        let mut smack_sum = 0.0;
+        let mut mastik_sum = 0.0;
+        for key in 0..keys {
+            let mut rng = SmallRng::seed_from_u64(0x7b + key as u64);
+            let nbits = if exp_bits == 0 { group } else { exp_bits };
+            let b = Bignum::random_bits(&mut rng, nbits);
+            let cfg = SrpAttackConfig { noise: NoiseConfig::noisy(), ..SrpAttackConfig::new(group) };
+            let out = srp::single_trace_attack(MicroArch::TigerLake, &b, &cfg, key as u64)
+                .expect("smc attack runs");
+            smack_sum += out.leakage;
+            mastik_sum += mastik_srp_leakage(group, &b, key as u64);
+        }
+        let row = Table2Row {
+            group_bits: group,
+            smack: smack_sum / keys as f64,
+            mastik: mastik_sum / keys as f64,
+        };
+        t.row(vec![s(group), f(row.smack * 100.0, 0) + "%", f(row.mastik * 100.0, 0) + "%"]);
+        rows.push(row);
+    }
+    t.print();
+    t.write_csv("table2");
+    println!();
+    println!(
+        "paper shape: Prime+iStore leakage rises with group size (65->90%); \
+         Mastik trails badly (22->48%) because its 1-2 cycle margin drowns in \
+         noise."
+    );
+    rows
+}
+
+/// Run the Mastik baseline against the SRP victim; returns the leakage.
+fn mastik_srp_leakage(group_bits: usize, b: &Bignum, seed: u64) -> f64 {
+    let victim = srp::build_victim(group_bits, b.bit_len());
+    let mut machine =
+        Machine::with_noise(MicroArch::TigerLake.profile(), NoiseConfig::noisy(), seed);
+    machine.load_program(&victim.program);
+    let mut monitor =
+        match MastikMonitor::new(&mut machine, ThreadId::T0, 0x0a50_0000, victim.mul_set, 600) {
+            Ok(m) => m,
+            Err(_) => return 0.0,
+        };
+    let sampler = move |m: &mut Machine| -> Result<bool, String> {
+        monitor.sample(m).map_err(|e| e.to_string())
+    };
+    let max_samples = group_bits * 60 + 10_000;
+    let samples = match srp::collect_events(&mut machine, &victim, b, sampler, max_samples) {
+        Ok(s) => s,
+        Err(_) => return 0.0,
+    };
+    let measured = srp::measured_square_runs(&samples);
+    let schedule = smack_crypto::modexp::sliding_window_schedule(b);
+    let truth = srp::truth_spans(&schedule);
+    srp::leakage_rate(&measured, &truth)
+}
+
+/// Figure 6: the SRP single-trace pattern timeline at group size 6144.
+pub fn fig6(mode: Mode) {
+    banner("Figure 6 — SRP single-trace window patterns (6144-bit group)");
+    let exp_bits = mode.pick(128, 6144);
+    let mut rng = SmallRng::seed_from_u64(0xf6);
+    let b = Bignum::random_bits(&mut rng, exp_bits);
+    let cfg = SrpAttackConfig::new(6144);
+    let out = srp::single_trace_attack(MicroArch::TigerLake, &b, &cfg, 0xf6).expect("attack runs");
+    let events = srp::event_times(&out.samples);
+    let measured = srp::measured_square_runs(&out.samples);
+    let schedule = smack_crypto::modexp::sliding_window_schedule(&b);
+    let truth = srp::truth_spans(&schedule);
+    let pattern = |squares: u32| -> String {
+        match squares {
+            1 => "11".to_owned(),
+            2 => "1X1 / 101".to_owned(),
+            n => format!("1{}1 (+zeros)", "X".repeat((n as usize).saturating_sub(1).min(5))),
+        }
+    };
+    let mut t = Table::new(&["mult #", "event clock", "measured squares", "pattern", "truth squares"]);
+    for (i, at) in events.iter().enumerate().take(60) {
+        let m = measured.get(i.wrapping_sub(1)).copied();
+        let tr = truth.get(i.wrapping_sub(1)).map(|x| x.squares);
+        t.row(vec![
+            s(i),
+            s(at),
+            m.map_or_else(|| "-".into(), |v| v.to_string()),
+            m.map_or_else(|| "-".into(), pattern),
+            tr.map_or_else(|| "-".into(), |v| v.to_string()),
+        ]);
+    }
+    t.print();
+    t.write_csv("fig6");
+    println!();
+    println!(
+        "leakage {:.0}% of recoverable bits — the paper's seven patterns \
+         ('0','1','11','1X1',...,'1XXXX1') appear as distinct square-run \
+         lengths between multiply events.",
+        out.leakage * 100.0
+    );
+}
+
+/// Table 3: the ISpectre applicability matrix across all ten parts.
+pub fn table3(mode: Mode) -> Vec<(MicroArch, Vec<Applicability>)> {
+    banner("Table 3 — ISpectre applicability: microarchitecture x probe class");
+    let _ = mode;
+    let mut header: Vec<&str> = vec!["probe"];
+    let names: Vec<String> = MicroArch::ALL.iter().map(|a| a.name().to_owned()).collect();
+    header.extend(names.iter().map(|n| n.as_str()));
+    let mut t = Table::new(&header);
+    let mut per_arch: Vec<(MicroArch, Vec<Applicability>)> =
+        MicroArch::ALL.iter().map(|a| (*a, Vec::new())).collect();
+    for kind in ProbeKind::ALL {
+        let mut row = vec![s(kind)];
+        for (i, arch) in MicroArch::ALL.iter().enumerate() {
+            let a = applicability(*arch, kind, 0x7ab3).unwrap_or(Applicability::NoLeak);
+            row.push(a.symbol().to_owned());
+            per_arch[i].1.push(a);
+        }
+        t.row(row);
+    }
+    t.print();
+    t.write_csv("table3");
+    println!();
+    println!(
+        "legend: ● SMC-powered leak, ◐ leaks without SMC, # no leak, × \
+         unsupported. Paper shape: store/lock work everywhere; execute never \
+         works; EPYC's flushes leak without machine clears; clwb only on the \
+         newest parts."
+    );
+    per_arch
+}
+
+/// One Table 4 row.
+#[derive(Clone, Debug)]
+pub struct Table4Row {
+    /// Processor.
+    pub arch: MicroArch,
+    /// Probe class.
+    pub kind: ProbeKind,
+    /// Leak rate in bytes/second.
+    pub bytes_per_s: f64,
+    /// Recovery success rate.
+    pub success: f64,
+}
+
+/// Table 4: ISpectre leakage rates on Cascade Lake and Ryzen 5.
+pub fn table4(mode: Mode) -> Vec<Table4Row> {
+    banner("Table 4 — ISpectre leakage rates (B/s)");
+    let secret_len = mode.pick(8, 64);
+    let secret: Vec<u8> = (0..secret_len).map(|i| (i as u8).wrapping_mul(73).wrapping_add(19)).collect();
+    let kinds = [
+        ProbeKind::Flush,
+        ProbeKind::FlushOpt,
+        ProbeKind::Store,
+        ProbeKind::Lock,
+        ProbeKind::Prefetch,
+        ProbeKind::Clwb,
+    ];
+    let mut rows = Vec::new();
+    let mut t = Table::new(&["processor", "probe", "B/s", "success (%)"]);
+    for arch in [MicroArch::CascadeLake, MicroArch::AmdRyzen5] {
+        for kind in kinds {
+            let cfg = ISpectreConfig::new(kind);
+            match leak_secret(arch, &secret, &cfg, 0x7ab4) {
+                Ok(r) if r.success_rate >= 0.5 => {
+                    t.row(vec![s(arch), s(kind), f(r.bytes_per_s, 0), f(r.success_rate * 100.0, 1)]);
+                    rows.push(Table4Row {
+                        arch,
+                        kind,
+                        bytes_per_s: r.bytes_per_s,
+                        success: r.success_rate,
+                    });
+                }
+                _ => {
+                    t.row(vec![s(arch), s(kind), s("N/A"), s("N/A")]);
+                }
+            }
+        }
+    }
+    t.print();
+    t.write_csv("table4");
+    println!();
+    println!(
+        "paper shape: thousands of bytes per second with high success; \
+         prefetch/clwb are unavailable or ineffective on AMD Ryzen 5."
+    );
+    rows
+}
+
+/// §6.1 detection: accuracy/F1/FPR per counter feature set.
+pub fn table5(mode: Mode) -> Vec<smack_detection::DetectionReport> {
+    banner("Section 6.1 — counter-based detection of SMC attacks (Cascade Lake)");
+    let cfg = smack_detection::DetectionConfig {
+        window_cycles: mode.pick(80_000, 200_000) as u64,
+        windows_per_run: mode.pick(6, 14),
+        noise: NoiseConfig::realistic(),
+    };
+    let (benign, attacks) =
+        smack_detection::collect_dataset(MicroArch::CascadeLake, &cfg).expect("dataset collects");
+    let mut t = Table::new(&["feature set", "accuracy", "F1", "FPR"]);
+    let mut out = Vec::new();
+    for fs in smack_detection::FeatureSet::ALL {
+        let r = smack_detection::evaluate(fs, &benign, &attacks, 0x7ab5);
+        t.row(vec![s(fs), f(r.accuracy, 4), f(r.f1, 4), f(r.fpr, 4)]);
+        out.push(r);
+    }
+    t.print();
+    t.write_csv("table5");
+    println!();
+    println!(
+        "paper shape: machine_clears.smc detects the attacks almost perfectly \
+         (F1 ~0.99, FPR <1%, residual false positives from the self-modifying \
+         amg workload); branch-misprediction and LLC-miss counters from prior \
+         work are much weaker."
+    );
+    out
+}

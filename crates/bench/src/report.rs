@@ -1,0 +1,93 @@
+//! Table rendering and CSV export for the experiment harnesses.
+
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple markdown-ish table printer.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        println!("{}", fmt_row(&self.header));
+        println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-|-"));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+
+    /// Write as CSV under `target/repro/<name>.csv`.
+    pub fn write_csv(&self, name: &str) {
+        let path = repro_path(name);
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        if let Err(e) = fs::write(&path, out) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("[csv] {}", path.display());
+        }
+    }
+}
+
+/// Location of the CSV output directory (`target/repro/`).
+pub fn repro_path(name: &str) -> PathBuf {
+    let dir = PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned()),
+    )
+    .join("repro");
+    let _ = fs::create_dir_all(&dir);
+    dir.join(format!("{name}.csv"))
+}
+
+/// Format a float with the given precision.
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Format any displayable value.
+pub fn s(v: impl Display) -> String {
+    v.to_string()
+}
+
+/// Print a section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!();
+}

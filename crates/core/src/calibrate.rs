@@ -1,0 +1,137 @@
+//! Hot/cold threshold calibration for each probe class.
+//!
+//! Mirrors the paper's methodology: measure the probe against a line that
+//! is resident in the L1i ("hot" — conflict) and against one that is only
+//! in L2 ("cold" — the state a just-evicted or just-probed line is in), and
+//! place the decision threshold between the two populations. For classes
+//! that trigger the SMC machine clear the hot side is *slower*; for
+//! leak-without-SMC classes (paper's ◐) it is *faster*.
+
+use smack_uarch::{Addr, Machine, Placement, ProbeKind, SmcBehavior, StepError, ThreadId};
+
+use crate::oracle::OraclePage;
+use crate::probe::Prober;
+
+/// A calibrated probe: class, decision threshold and polarity.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct CalibratedProbe {
+    /// Probe class.
+    pub kind: ProbeKind,
+    /// Decision threshold in cycles.
+    pub threshold: u64,
+    /// `true` when a hot (L1i-resident) line measures *above* the
+    /// threshold (SMC-triggering classes); `false` for inverted classes.
+    pub hot_is_high: bool,
+    /// Mean hot timing observed during calibration.
+    pub hot_mean: f64,
+    /// Mean cold timing observed during calibration.
+    pub cold_mean: f64,
+}
+
+impl CalibratedProbe {
+    /// Classify one measurement: `true` = the line was hot (L1i-resident).
+    pub fn is_hit(&self, cycles: u64) -> bool {
+        if self.hot_is_high {
+            cycles >= self.threshold
+        } else {
+            cycles < self.threshold
+        }
+    }
+
+    /// The separation margin between the calibrated populations.
+    pub fn margin(&self) -> f64 {
+        (self.hot_mean - self.cold_mean).abs()
+    }
+}
+
+/// Calibrate `kind` with the default cold state (L2-resident — the state a
+/// just-evicted line is in during Prime+iProbe).
+///
+/// # Errors
+///
+/// Returns [`StepError::Unsupported`] for instructions the profile lacks.
+pub fn calibrate(
+    machine: &mut Machine,
+    tid: ThreadId,
+    kind: ProbeKind,
+    scratch: Addr,
+    samples: usize,
+) -> Result<CalibratedProbe, StepError> {
+    calibrate_with_cold(machine, tid, kind, scratch, samples, Placement::L2)
+}
+
+/// Calibrate `kind` on this machine using a scratch oracle at `scratch`
+/// (line-aligned, unused address range), with `samples` per state and an
+/// explicit cold placement (Flush+iReload probes see flushed-to-DRAM lines
+/// as cold; Prime+iProbe sees L2-resident lines).
+///
+/// # Errors
+///
+/// Returns [`StepError::Unsupported`] for instructions the profile lacks.
+pub fn calibrate_with_cold(
+    machine: &mut Machine,
+    tid: ThreadId,
+    kind: ProbeKind,
+    scratch: Addr,
+    samples: usize,
+    cold: Placement,
+) -> Result<CalibratedProbe, StepError> {
+    let oracle = OraclePage::build(scratch, 1);
+    oracle.install(machine);
+    let line = oracle.line(0);
+    machine.warm_tlb(tid, line);
+    let mut prober = Prober::new(tid);
+    let mut hot_sum = 0u64;
+    let mut cold_sum = 0u64;
+    for _ in 0..samples {
+        machine.place_line(line, Placement::L1i);
+        hot_sum += prober.measure(machine, kind, line)?.cycles;
+        machine.place_line(line, cold);
+        cold_sum += prober.measure(machine, kind, line)?.cycles;
+    }
+    let hot_mean = hot_sum as f64 / samples as f64;
+    let cold_mean = cold_sum as f64 / samples as f64;
+    let behavior = machine.profile().smc.get(kind);
+    let hot_is_high = match behavior {
+        SmcBehavior::Triggers => true,
+        _ => hot_mean >= cold_mean,
+    };
+    let threshold = ((hot_mean + cold_mean) / 2.0).round() as u64;
+    Ok(CalibratedProbe { kind, threshold, hot_is_high, hot_mean, cold_mean })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smack_uarch::MicroArch;
+
+    const T0: ThreadId = ThreadId::T0;
+
+    #[test]
+    fn smc_classes_calibrate_hot_high_with_wide_margin() {
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        for kind in [ProbeKind::Store, ProbeKind::Flush, ProbeKind::Lock, ProbeKind::Clwb] {
+            let c = calibrate(&mut m, T0, kind, Addr(0x3_0000), 20).unwrap();
+            assert!(c.hot_is_high, "{kind}");
+            assert!(c.margin() > 100.0, "{kind}: margin {}", c.margin());
+            assert!(c.is_hit((c.hot_mean + 1.0) as u64));
+            assert!(!c.is_hit((c.cold_mean + 1.0) as u64));
+        }
+    }
+
+    #[test]
+    fn execute_class_has_small_margin_on_l2() {
+        // The Mastik problem: L1i vs L2 differ by only a couple of cycles.
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        let c = calibrate(&mut m, T0, ProbeKind::Execute, Addr(0x3_0000), 20).unwrap();
+        assert!(c.margin() < 10.0, "execute margin {}", c.margin());
+    }
+
+    #[test]
+    fn calibration_is_deterministic_without_noise() {
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        let a = calibrate(&mut m, T0, ProbeKind::Store, Addr(0x3_0000), 10).unwrap();
+        let b = calibrate(&mut m, T0, ProbeKind::Store, Addr(0x3_0000), 10).unwrap();
+        assert_eq!(a.threshold, b.threshold);
+    }
+}

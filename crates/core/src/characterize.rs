@@ -1,0 +1,303 @@
+//! §4 characterization harnesses: Figure 1 (probe timing per cache state)
+//! and Figure 2 (performance-counter reverse engineering).
+
+use smack_uarch::{
+    Addr, Machine, PerfEvent, Placement, ProbeKind, SmcBehavior, StepError, ThreadId,
+};
+
+use crate::oracle::OraclePage;
+use crate::probe::Prober;
+
+/// Summary statistics of a timing population.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct TimingStats {
+    /// Arithmetic mean (cycles).
+    pub mean: f64,
+    /// Standard deviation (cycles).
+    pub std: f64,
+    /// Minimum.
+    pub min: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Sample count.
+    pub samples: usize,
+}
+
+impl TimingStats {
+    /// Compute stats from raw samples.
+    pub fn from_samples(samples: &[u64]) -> TimingStats {
+        if samples.is_empty() {
+            return TimingStats::default();
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<u64>() as f64 / n;
+        let var = samples.iter().map(|s| (*s as f64 - mean).powi(2)).sum::<f64>() / n;
+        TimingStats {
+            mean,
+            std: var.sqrt(),
+            min: *samples.iter().min().expect("nonempty"),
+            max: *samples.iter().max().expect("nonempty"),
+            samples: samples.len(),
+        }
+    }
+}
+
+/// One cell of the Figure 1 matrix: probe class × cache state.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Figure1Cell {
+    /// Probe class.
+    pub kind: ProbeKind,
+    /// Prepared microarchitectural state of the oracle line.
+    pub state: Placement,
+    /// Timing statistics.
+    pub stats: TimingStats,
+}
+
+/// The full Figure 1 characterization for one machine: every supported
+/// probe class measured against all five oracle states.
+///
+/// Returns one entry per supported `(kind, state)` pair; unsupported
+/// instructions are skipped (they would be `×` cells in Table 3).
+///
+/// # Errors
+///
+/// Propagates simulator errors other than instruction-unsupported.
+pub fn figure1(
+    machine: &mut Machine,
+    tid: ThreadId,
+    samples: usize,
+) -> Result<Vec<Figure1Cell>, StepError> {
+    let oracle = OraclePage::build(Addr(0x00ee_0000), 1);
+    oracle.install(machine);
+    let line = oracle.line(0);
+    machine.warm_tlb(tid, line);
+    let mut prober = Prober::new(tid);
+    let mut out = Vec::new();
+    for kind in ProbeKind::ALL {
+        if machine.profile().smc.get(kind) == SmcBehavior::Unsupported {
+            continue;
+        }
+        for state in Placement::ALL {
+            let mut timings = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                machine.place_line(line, state);
+                timings.push(prober.measure(machine, kind, line)?.cycles);
+            }
+            out.push(Figure1Cell { kind, state, stats: TimingStats::from_samples(&timings) });
+        }
+    }
+    Ok(out)
+}
+
+/// The Mastik-style comparison row of Figure 1: execute-and-time probing
+/// across the data states (the classic L1i Prime+Probe measurement).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn figure1_mastik_row(
+    machine: &mut Machine,
+    tid: ThreadId,
+    samples: usize,
+) -> Result<Vec<Figure1Cell>, StepError> {
+    let oracle = OraclePage::build(Addr(0x00ef_0000), 1);
+    oracle.install(machine);
+    let line = oracle.line(0);
+    machine.warm_tlb(tid, line);
+    let mut prober = Prober::new(tid);
+    let mut out = Vec::new();
+    for state in Placement::ALL {
+        let mut timings = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            machine.place_line(line, state);
+            timings.push(prober.measure(machine, ProbeKind::Execute, line)?.cycles);
+        }
+        out.push(Figure1Cell {
+            kind: ProbeKind::Execute,
+            state,
+            stats: TimingStats::from_samples(&timings),
+        });
+    }
+    Ok(out)
+}
+
+/// One counter's average delta around an SMC-probe execution (Figure 2).
+#[derive(Clone, PartialEq, Debug)]
+pub struct CounterProfile {
+    /// Probe class measured.
+    pub kind: ProbeKind,
+    /// `(event, mean delta per probe)` pairs.
+    pub deltas: Vec<(PerfEvent, f64)>,
+}
+
+/// The events the paper's Figure 2 tracks, per vendor (both sets are
+/// sampled; irrelevant ones read zero).
+pub const FIGURE2_EVENTS: [PerfEvent; 9] = [
+    PerfEvent::MachineClearsCount,
+    PerfEvent::MachineClearsSmc,
+    PerfEvent::CycleActivityStallsTotal,
+    PerfEvent::FrontendIdq4Bubbles,
+    PerfEvent::IntMiscClearResteerCycles,
+    PerfEvent::PartialRatStallsScoreboard,
+    PerfEvent::AmdPipeStallBackPressure,
+    PerfEvent::AmdIcLinesInvalidated,
+    PerfEvent::AmdL2FillBusy,
+];
+
+/// Reverse-engineer SMC behaviour with performance counters: for each
+/// supported probe class, prepare the L1i state and measure the counter
+/// deltas across `reps` probes (paper: 10,000 on hardware).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn figure2(
+    machine: &mut Machine,
+    tid: ThreadId,
+    reps: usize,
+) -> Result<Vec<CounterProfile>, StepError> {
+    let oracle = OraclePage::build(Addr(0x00f0_0000), 1);
+    oracle.install(machine);
+    let line = oracle.line(0);
+    machine.warm_tlb(tid, line);
+    let mut prober = Prober::new(tid);
+    let mut out = Vec::new();
+    for kind in ProbeKind::ALL {
+        if machine.profile().smc.get(kind) == SmcBehavior::Unsupported {
+            continue;
+        }
+        let before = machine.counters(tid).snapshot();
+        for _ in 0..reps {
+            machine.place_line(line, Placement::L1i);
+            prober.measure(machine, kind, line)?;
+        }
+        let deltas = FIGURE2_EVENTS
+            .iter()
+            .map(|e| (*e, machine.counters(tid).delta(&before, *e) as f64 / reps as f64))
+            .collect();
+        out.push(CounterProfile { kind, deltas });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smack_uarch::MicroArch;
+
+    const T0: ThreadId = ThreadId::T0;
+
+    fn cell<'a>(
+        cells: &'a [Figure1Cell],
+        kind: ProbeKind,
+        state: Placement,
+    ) -> &'a Figure1Cell {
+        cells
+            .iter()
+            .find(|c| c.kind == kind && c.state == state)
+            .unwrap_or_else(|| panic!("missing cell {kind}/{state}"))
+    }
+
+    #[test]
+    fn figure1_reproduces_cascade_lake_shape() {
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        let cells = figure1(&mut m, T0, 30).unwrap();
+
+        // Flush: L1i hit ≈ 350, > 150 above LLC hit (paper §4.1).
+        let f_l1i = cell(&cells, ProbeKind::Flush, Placement::L1i).stats.mean;
+        let f_llc = cell(&cells, ProbeKind::Flush, Placement::Llc).stats.mean;
+        assert!(f_l1i > 300.0 && f_l1i < 420.0, "flush L1i {f_l1i}");
+        assert!(f_l1i - f_llc > 150.0, "flush margin {}", f_l1i - f_llc);
+
+        // Store: ≈300 on L1i, ≈200 above LLC, within ~40 of DRAM.
+        let s_l1i = cell(&cells, ProbeKind::Store, Placement::L1i).stats.mean;
+        let s_llc = cell(&cells, ProbeKind::Store, Placement::Llc).stats.mean;
+        let s_dram = cell(&cells, ProbeKind::Store, Placement::DramOnly).stats.mean;
+        assert!(s_l1i - s_llc > 150.0);
+        assert!((s_l1i - s_dram).abs() < 60.0, "store L1i {s_l1i} vs DRAM {s_dram}");
+
+        // Lock is the slowest conflict (paper: ~425 cycles).
+        let l_l1i = cell(&cells, ProbeKind::Lock, Placement::L1i).stats.mean;
+        assert!(l_l1i > s_l1i && l_l1i > f_l1i, "lock {l_l1i}");
+
+        // Load never conflicts: L1i-state load is an L2-ish access.
+        let ld_l1i = cell(&cells, ProbeKind::Load, Placement::L1i).stats.mean;
+        assert!(ld_l1i < 100.0, "load on L1i-resident line {ld_l1i}");
+    }
+
+    #[test]
+    fn figure1_mastik_row_shows_tiny_l1i_l2_gap() {
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        let row = figure1_mastik_row(&mut m, T0, 30).unwrap();
+        let l1i = cell(&row, ProbeKind::Execute, Placement::L1i).stats.mean;
+        let l2 = cell(&row, ProbeKind::Execute, Placement::L2).stats.mean;
+        let llc = cell(&row, ProbeKind::Execute, Placement::Llc).stats.mean;
+        let dram = cell(&row, ProbeKind::Execute, Placement::DramOnly).stats.mean;
+        assert!((l2 - l1i).abs() < 5.0, "paper: 1-2 cycle gap; got {}", l2 - l1i);
+        assert!(llc - l1i > 15.0 && llc - l1i < 60.0, "LLC gap {}", llc - l1i);
+        assert!(dram > 200.0, "DRAM {dram}");
+    }
+
+    #[test]
+    fn figure2_counters_match_paper_reverse_engineering() {
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        let profiles = figure2(&mut m, T0, 50).unwrap();
+        let get = |kind: ProbeKind, e: PerfEvent| -> f64 {
+            profiles
+                .iter()
+                .find(|p| p.kind == kind)
+                .and_then(|p| p.deltas.iter().find(|(ev, _)| *ev == e))
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0)
+        };
+        // One machine clear per conflicting probe...
+        assert!((get(ProbeKind::Store, PerfEvent::MachineClearsCount) - 1.0).abs() < 0.05);
+        // ...but the SMC sub-counter double-counts clflushopt and clwb.
+        assert!((get(ProbeKind::FlushOpt, PerfEvent::MachineClearsSmc) - 2.0).abs() < 0.05);
+        assert!((get(ProbeKind::Clwb, PerfEvent::MachineClearsSmc) - 2.0).abs() < 0.05);
+        assert!((get(ProbeKind::Store, PerfEvent::MachineClearsSmc) - 1.0).abs() < 0.05);
+        // Store serialization ≈ 200 cycles in the scoreboard counter.
+        let sb = get(ProbeKind::Store, PerfEvent::PartialRatStallsScoreboard);
+        assert!((150.0..=250.0).contains(&sb), "scoreboard {sb}");
+        // Lock has the highest total stalls (~580).
+        let lock_stalls = get(ProbeKind::Lock, PerfEvent::CycleActivityStallsTotal);
+        assert!(lock_stalls >= 500.0, "lock stalls {lock_stalls}");
+        // Load never machine-clears.
+        assert_eq!(get(ProbeKind::Load, PerfEvent::MachineClearsCount), 0.0);
+    }
+
+    #[test]
+    fn figure2_amd_counters() {
+        let mut m = Machine::new(MicroArch::AmdRyzen5.profile());
+        let profiles = figure2(&mut m, T0, 50).unwrap();
+        let get = |kind: ProbeKind, e: PerfEvent| -> f64 {
+            profiles
+                .iter()
+                .find(|p| p.kind == kind)
+                .and_then(|p| p.deltas.iter().find(|(ev, _)| *ev == e))
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0)
+        };
+        // clflush: ~500 back-pressure stall cycles (paper §4.2).
+        let bp = get(ProbeKind::Flush, PerfEvent::AmdPipeStallBackPressure);
+        assert!((400.0..=600.0).contains(&bp), "back pressure {bp}");
+        // Store invalidates one icache line per conflict and refills via L2.
+        assert!((get(ProbeKind::Store, PerfEvent::AmdIcLinesInvalidated) - 1.0).abs() < 0.05);
+        assert!(get(ProbeKind::Store, PerfEvent::AmdL2FillBusy) > 100.0);
+        // Flush does not refill, so no L2 fill pressure.
+        assert_eq!(get(ProbeKind::Flush, PerfEvent::AmdL2FillBusy), 0.0);
+        // No machine-clear events exposed on AMD.
+        assert_eq!(get(ProbeKind::Store, PerfEvent::MachineClearsCount), 0.0);
+    }
+
+    #[test]
+    fn stats_computation() {
+        let s = TimingStats::from_samples(&[10, 20, 30]);
+        assert!((s.mean - 20.0).abs() < 1e-9);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 30);
+        assert_eq!(s.samples, 3);
+        assert!(s.std > 8.0 && s.std < 9.0);
+        assert_eq!(TimingStats::from_samples(&[]).samples, 0);
+    }
+}

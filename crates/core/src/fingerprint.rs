@@ -1,0 +1,259 @@
+//! Case Study II steps 1–2: library-version fingerprinting and
+//! multiplication-set detection (paper §5.2, Figure 4's feature vectors).
+//!
+//! The attacker sweeps all 64 L1i sets with Prime+iStore, counting
+//! activities per set while the victim's decryption loop runs. The 64-dim
+//! activity vector fingerprints the library version (kNN, k=3, Euclidean —
+//! exactly the paper's model), and a binary kNN over per-set activity
+//! statistics finds the multiplication set.
+
+use rand::SeedableRng;
+use smack_ml::{cross_validate, KnnClassifier, Sample};
+use smack_uarch::{Machine, MicroArch, NoiseConfig, ProbeKind, ThreadId};
+use smack_victims::corpus::{build_victim, LibraryVersion};
+
+use crate::calibrate::calibrate;
+use crate::oracle::{EvictionSet, OraclePage};
+use crate::probe::Prober;
+
+const ATTACKER: ThreadId = ThreadId::T0;
+const VICTIM: ThreadId = ThreadId::T1;
+const EVSET_BASE: u64 = 0x0a30_0000;
+const VICTIM_BASE: u64 = 0x0700_0000;
+const SCRATCH: u64 = 0x0d30_0000;
+
+/// Fingerprinting configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct SweepConfig {
+    /// Probe class (the paper uses Prime+iStore).
+    pub kind: ProbeKind,
+    /// Samples collected per set (the paper uses 100 per set).
+    pub samples_per_set: usize,
+    /// Wait between prime and probe.
+    pub wait_cycles: u64,
+    /// Noise model.
+    pub noise: NoiseConfig,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            kind: ProbeKind::Store,
+            samples_per_set: 10,
+            wait_cycles: 700,
+            noise: NoiseConfig::realistic(),
+        }
+    }
+}
+
+/// Sweep all 64 L1i sets while a library victim runs; returns the per-set
+/// activity counts (the kNN feature vector).
+///
+/// # Errors
+///
+/// Returns a message on simulator errors.
+pub fn activity_vector(
+    arch: MicroArch,
+    version: &LibraryVersion,
+    key_seed: u64,
+    cfg: &SweepConfig,
+    seed: u64,
+) -> Result<Vec<f64>, String> {
+    let mut m = Machine::with_noise(arch.profile(), cfg.noise, seed);
+    let victim = build_victim(version, VICTIM_BASE, key_seed);
+    m.load_program(&victim.program);
+
+    // One shared oracle region covers every set (64 sets x 8 ways).
+    let sets = m.l1i_sets();
+    let ways = m.l1i_ways();
+    let region = OraclePage::build(smack_uarch::Addr(EVSET_BASE), sets * ways);
+    region.install(&mut m);
+    let cal = calibrate(&mut m, ATTACKER, cfg.kind, smack_uarch::Addr(SCRATCH), 10)
+        .map_err(|e| e.to_string())?;
+    let mut prober = Prober::new(ATTACKER);
+
+    // Keep the decryption loop running throughout the sweep.
+    m.start_program(VICTIM, victim.entry, &[u64::MAX / 2]);
+
+    let mut vector = Vec::with_capacity(sets);
+    for set in 0..sets {
+        let ev = EvictionSet::build(EVSET_BASE, set, ways);
+        for w in ev.ways() {
+            m.warm_tlb(ATTACKER, *w);
+        }
+        let mut activity = 0u32;
+        for _ in 0..cfg.samples_per_set {
+            ev.prime(&mut m, &mut prober).map_err(|e| e.to_string())?;
+            prober.wait(&mut m, cfg.wait_cycles).map_err(|e| e.to_string())?;
+            let timings = ev.probe(&mut m, &mut prober, cfg.kind).map_err(|e| e.to_string())?;
+            if timings.iter().any(|t| !cal.is_hit(*t)) {
+                activity += 1;
+            }
+        }
+        vector.push(activity as f64);
+    }
+    m.park(VICTIM);
+    Ok(vector)
+}
+
+/// Report from the library-identification experiment.
+#[derive(Clone, Debug)]
+pub struct LibraryIdReport {
+    /// Offline cross-validation accuracy (paper: 100%).
+    pub cv_accuracy: f64,
+    /// Online single-measurement identification accuracy (paper: 97%).
+    pub online_accuracy: f64,
+    /// Number of library versions classified.
+    pub versions: usize,
+}
+
+/// Run the full library-identification experiment over `versions`, with
+/// `offline_per_version` training measurements and `online_per_version`
+/// held-out identification attempts.
+///
+/// # Errors
+///
+/// Returns a message on simulator errors.
+pub fn library_id_experiment(
+    arch: MicroArch,
+    versions: &[LibraryVersion],
+    offline_per_version: usize,
+    online_per_version: usize,
+    cfg: &SweepConfig,
+) -> Result<LibraryIdReport, String> {
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (label, version) in versions.iter().enumerate() {
+        for k in 0..offline_per_version {
+            let v = activity_vector(arch, version, k as u64, cfg, 100 + k as u64)?;
+            train.push(Sample::new(v, label));
+        }
+        for k in 0..online_per_version {
+            let v =
+                activity_vector(arch, version, 1000 + k as u64, cfg, 900 + k as u64)?;
+            test.push(Sample::new(v, label));
+        }
+    }
+    let mut cv_rng = rand::rngs::SmallRng::seed_from_u64(7);
+    let cv_accuracy = cross_validate(&train, 3, 3, &mut cv_rng);
+    let model = KnnClassifier::fit(3, train);
+    let online_accuracy = model.accuracy(&test);
+    Ok(LibraryIdReport { cv_accuracy, online_accuracy, versions: versions.len() })
+}
+
+/// Step 2: detect which set hosts the multiplication routine. Collects
+/// per-set activity while an RSA victim decrypts and classifies
+/// mul-set vs other-set feature vectors with a binary kNN.
+///
+/// Returns the detection accuracy on a held-out split.
+///
+/// # Errors
+///
+/// Returns a message on simulator errors.
+pub fn mul_set_detection_accuracy(
+    arch: MicroArch,
+    measurements_per_class: usize,
+    cfg: &SweepConfig,
+) -> Result<f64, String> {
+    use smack_crypto::Bignum;
+    use smack_victims::modexp::{ModexpAlgorithm, ModexpVictimBuilder};
+
+    let mut samples = Vec::new();
+    for i in 0..measurements_per_class {
+        // Fresh machine + victim per measurement, with varying keys.
+        let mul_set = 8 + (i * 7) % 48;
+        let other_set = (mul_set + 17) % 64;
+        let mut builder = ModexpVictimBuilder::new(ModexpAlgorithm::BinaryLtr);
+        builder.mul_set(mul_set).sqr_set((mul_set + 31) % 64).operand_bits(2048);
+        let victim = builder.build();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(500 + i as u64);
+        let exp = Bignum::random_bits(&mut rng, 96);
+
+        for (set, label) in [(mul_set, 1usize), (other_set, 0usize)] {
+            let mut m = Machine::with_noise(arch.profile(), cfg.noise, 42 + i as u64);
+            m.load_program(&victim.program);
+            let ev = EvictionSet::for_machine(&m, EVSET_BASE, set);
+            ev.install(&mut m);
+            for w in ev.ways() {
+                m.warm_tlb(ATTACKER, *w);
+            }
+            let cal = calibrate(&mut m, ATTACKER, cfg.kind, smack_uarch::Addr(SCRATCH), 8)
+                .map_err(|e| e.to_string())?;
+            let mut prober = Prober::new(ATTACKER);
+            victim.start(&mut m, VICTIM, &exp);
+            let mut activity = 0u32;
+            let mut total = 0u32;
+            while m.state(VICTIM) == smack_uarch::ThreadState::Running && total < 400 {
+                ev.prime(&mut m, &mut prober).map_err(|e| e.to_string())?;
+                prober.wait(&mut m, cfg.wait_cycles).map_err(|e| e.to_string())?;
+                let t = ev.probe(&mut m, &mut prober, cfg.kind).map_err(|e| e.to_string())?;
+                if t.iter().any(|x| !cal.is_hit(*x)) {
+                    activity += 1;
+                }
+                total += 1;
+            }
+            let rate = activity as f64 / total.max(1) as f64;
+            samples.push(Sample::new(vec![activity as f64, rate * 100.0], label));
+        }
+    }
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+    let (train, test) = smack_ml::train_test_split(samples, 0.8, &mut rng);
+    let model = KnnClassifier::fit(3, train);
+    Ok(model.accuracy(&test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smack_victims::corpus::corpus;
+
+    #[test]
+    fn activity_vectors_reflect_library_layout() {
+        let c = corpus();
+        let cfg = SweepConfig { samples_per_set: 6, ..SweepConfig::default() };
+        let v = activity_vector(MicroArch::TigerLake, &c[0], 0, &cfg, 1).unwrap();
+        assert_eq!(v.len(), 64);
+        let total: f64 = v.iter().sum();
+        assert!(total > 0.0, "victim activity must be visible");
+        // The hot sets of the layout should rank among the most active.
+        let layout = build_victim(&c[0], VICTIM_BASE, 0).layout;
+        let hottest_layout_set = layout.iter().max_by_key(|(_, i)| *i).expect("nonempty").0;
+        let measured_rank = {
+            let mut idx: Vec<usize> = (0..64).collect();
+            idx.sort_by(|a, b| v[*b].partial_cmp(&v[*a]).expect("finite"));
+            idx.iter().position(|s| *s == hottest_layout_set).expect("set present")
+        };
+        assert!(measured_rank < 24, "hottest layout set ranked {measured_rank}");
+    }
+
+    #[test]
+    fn distinct_versions_produce_distinct_vectors() {
+        let c = corpus();
+        let cfg = SweepConfig { samples_per_set: 6, ..SweepConfig::default() };
+        let a = activity_vector(MicroArch::TigerLake, &c[0], 0, &cfg, 1).unwrap();
+        let b = activity_vector(MicroArch::TigerLake, &c[20], 0, &cfg, 1).unwrap();
+        let dist = smack_ml::euclidean(&a, &b);
+        assert!(dist > 3.0, "distance {dist}");
+    }
+
+    #[test]
+    fn small_library_id_experiment_classifies_well() {
+        let c = corpus();
+        let subset: Vec<_> = c.into_iter().step_by(9).collect(); // 4 versions
+        let cfg = SweepConfig { samples_per_set: 6, ..SweepConfig::default() };
+        // The paper uses 8 offline measurements per version; a kNN with
+        // k=3 needs at least ~5 per class for folds to keep a same-class
+        // majority available.
+        let report =
+            library_id_experiment(MicroArch::TigerLake, &subset, 5, 1, &cfg).unwrap();
+        assert!(report.online_accuracy >= 0.75, "online {}", report.online_accuracy);
+        assert!(report.cv_accuracy >= 0.7, "cv {}", report.cv_accuracy);
+    }
+
+    #[test]
+    fn mul_set_detection_beats_chance() {
+        let cfg = SweepConfig { samples_per_set: 6, ..SweepConfig::default() };
+        let acc = mul_set_detection_accuracy(MicroArch::TigerLake, 6, &cfg).unwrap();
+        assert!(acc >= 0.7, "accuracy {acc}");
+    }
+}

@@ -1,0 +1,214 @@
+//! The nine timed probe primitives (paper Listing 2).
+//!
+//! Each probe is the instruction sequence
+//! `mfence; rdtsc -> R14; <op>; mfence; rdtsc -> R15`, executed as injected
+//! attacker code; the measurement is `R15 - R14`, exactly as the paper
+//! measures with inline assembly.
+
+use smack_uarch::isa::{Instr, MemRef, MemSize, Reg};
+use smack_uarch::{Addr, Machine, ProbeKind, StepError, ThreadId};
+
+/// Register conventions for probe sequences.
+const ADDR_REG: Reg = Reg::R13;
+const T_START: Reg = Reg::R14;
+const T_END: Reg = Reg::R15;
+
+/// Build the timed instruction sequence for one probe of `kind`.
+///
+/// The target address is taken from `R13`; timings land in `R14`/`R15`.
+pub fn probe_sequence(kind: ProbeKind) -> Vec<Instr> {
+    let mem = MemRef::base(ADDR_REG);
+    let op = match kind {
+        ProbeKind::Load => Instr::Load { dst: Reg::R12, mem, size: MemSize::Quad },
+        ProbeKind::Flush => Instr::Clflush { mem },
+        ProbeKind::FlushOpt => Instr::Clflushopt { mem },
+        ProbeKind::Store => Instr::StoreImm { mem, imm: 0x90 },
+        ProbeKind::Lock => Instr::LockInc { mem },
+        ProbeKind::Prefetch => Instr::PrefetchT0 { mem },
+        ProbeKind::PrefetchNta => Instr::PrefetchNta { mem },
+        ProbeKind::Execute => Instr::CallReg { target: ADDR_REG },
+        ProbeKind::Clwb => Instr::Clwb { mem },
+    };
+    vec![
+        Instr::Mfence,
+        Instr::Rdtsc { dst: T_START },
+        op,
+        Instr::Mfence,
+        Instr::Rdtsc { dst: T_END },
+    ]
+}
+
+/// A probe measurement.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ProbeTiming {
+    /// Measured `rdtsc` delta in cycles.
+    pub cycles: u64,
+    /// The probed line.
+    pub line: Addr,
+    /// Probe class used.
+    pub kind: ProbeKind,
+}
+
+/// Convenience wrapper running probes on one attacker thread.
+///
+/// ```no_run
+/// use smack::Prober;
+/// use smack_uarch::{Machine, MicroArch, ProbeKind, ThreadId, Addr};
+///
+/// let mut m = Machine::new(MicroArch::CascadeLake.profile());
+/// let mut prober = Prober::new(ThreadId::T0);
+/// let t = prober.measure(&mut m, ProbeKind::Store, Addr(0x1000)).unwrap();
+/// assert!(t.cycles > 0);
+/// ```
+#[derive(Copy, Clone, Debug)]
+pub struct Prober {
+    tid: ThreadId,
+}
+
+impl Prober {
+    /// A prober running on `tid` (the thread must be idle / attacker-owned).
+    pub fn new(tid: ThreadId) -> Prober {
+        Prober { tid }
+    }
+
+    /// The attacker thread.
+    pub fn thread(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// Run one timed probe of `kind` against `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Unsupported`] when the microarchitecture lacks
+    /// the instruction (an `×` cell in Table 3), or any error from the
+    /// sibling victim.
+    pub fn measure(
+        &mut self,
+        machine: &mut Machine,
+        kind: ProbeKind,
+        addr: Addr,
+    ) -> Result<ProbeTiming, StepError> {
+        machine.set_reg(self.tid, ADDR_REG, addr.0);
+        machine.run_sequence(self.tid, &probe_sequence(kind))?;
+        let start = machine.reg(self.tid, T_START);
+        let end = machine.reg(self.tid, T_END);
+        Ok(ProbeTiming { cycles: end.saturating_sub(start), line: addr.line(), kind })
+    }
+
+    /// Execute (call) the line at `addr` without timing it — the priming
+    /// primitive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StepError`] from either thread.
+    pub fn execute_line(&mut self, machine: &mut Machine, addr: Addr) -> Result<(), StepError> {
+        machine.run_sequence(self.tid, &[Instr::Call { target: addr.0 }])?;
+        Ok(())
+    }
+
+    /// Flush the line at `addr` with a real (timed but discarded) `clflush`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StepError`] from either thread.
+    pub fn flush_line(&mut self, machine: &mut Machine, addr: Addr) -> Result<(), StepError> {
+        machine.set_reg(self.tid, ADDR_REG, addr.0);
+        machine
+            .run_sequence(self.tid, &[Instr::Clflush { mem: MemRef::base(ADDR_REG) }])?;
+        Ok(())
+    }
+
+    /// Busy-wait `cycles` (the "empty for loop" between prime and probe).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StepError`] from the sibling victim.
+    pub fn wait(&mut self, machine: &mut Machine, cycles: u64) -> Result<(), StepError> {
+        machine.advance(self.tid, cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smack_uarch::asm::Assembler;
+    use smack_uarch::{MicroArch, Placement};
+
+    const T0: ThreadId = ThreadId::T0;
+
+    fn machine_with_oracle(arch: MicroArch) -> (Machine, Addr) {
+        let mut m = Machine::new(arch.profile());
+        let mut a = Assembler::new(0x1_0000);
+        a.nop().nop().ret();
+        m.load_program(&a.assemble().unwrap());
+        (m, Addr(0x1_0000))
+    }
+
+    #[test]
+    fn all_kinds_produce_sequences_with_op_between_fences() {
+        for kind in ProbeKind::ALL {
+            let seq = probe_sequence(kind);
+            assert_eq!(seq.len(), 5, "{kind}");
+            assert_eq!(seq[0], Instr::Mfence);
+            assert!(matches!(seq[1], Instr::Rdtsc { .. }));
+            assert_eq!(seq[3], Instr::Mfence);
+            assert!(matches!(seq[4], Instr::Rdtsc { .. }));
+        }
+    }
+
+    #[test]
+    fn store_probe_distinguishes_l1i_hit() {
+        let (mut m, oracle) = machine_with_oracle(MicroArch::CascadeLake);
+        let mut p = Prober::new(T0);
+        m.warm_tlb(T0, oracle);
+        m.place_line(oracle, Placement::L1i);
+        let hot = p.measure(&mut m, ProbeKind::Store, oracle).unwrap();
+        m.place_line(oracle, Placement::L2);
+        let cold = p.measure(&mut m, ProbeKind::Store, oracle).unwrap();
+        assert!(hot.cycles > cold.cycles + 150, "hot {} cold {}", hot.cycles, cold.cycles);
+    }
+
+    #[test]
+    fn execute_probe_reflects_fetch_hierarchy() {
+        let (mut m, oracle) = machine_with_oracle(MicroArch::CascadeLake);
+        let mut p = Prober::new(T0);
+        m.warm_tlb(T0, oracle);
+        m.place_line(oracle, Placement::DramOnly);
+        let dram = p.measure(&mut m, ProbeKind::Execute, oracle).unwrap();
+        // Line is now cached by the execute itself.
+        let hit = p.measure(&mut m, ProbeKind::Execute, oracle).unwrap();
+        assert!(dram.cycles > hit.cycles + 150, "dram {} hit {}", dram.cycles, hit.cycles);
+    }
+
+    #[test]
+    fn amd_timings_are_quantized() {
+        let (mut m, oracle) = machine_with_oracle(MicroArch::AmdRyzen5);
+        let mut p = Prober::new(T0);
+        m.warm_tlb(T0, oracle);
+        for placement in [Placement::L1i, Placement::L2, Placement::DramOnly] {
+            m.place_line(oracle, placement);
+            let t = p.measure(&mut m, ProbeKind::Store, oracle).unwrap();
+            assert_eq!(t.cycles % 21, 0, "AMD rdtsc readings come in 21-cycle quanta");
+        }
+    }
+
+    #[test]
+    fn unsupported_kind_errors() {
+        let (mut m, oracle) = machine_with_oracle(MicroArch::IvyBridge);
+        let mut p = Prober::new(T0);
+        let err = p.measure(&mut m, ProbeKind::FlushOpt, oracle).unwrap_err();
+        assert_eq!(err, StepError::Unsupported { kind: ProbeKind::FlushOpt });
+    }
+
+    #[test]
+    fn execute_line_fills_l1i() {
+        let (mut m, oracle) = machine_with_oracle(MicroArch::CascadeLake);
+        let mut p = Prober::new(T0);
+        assert!(!m.residency(oracle).l1i);
+        p.execute_line(&mut m, oracle).unwrap();
+        assert!(m.residency(oracle).l1i);
+        p.flush_line(&mut m, oracle).unwrap();
+        assert!(!m.residency(oracle).cached_anywhere());
+    }
+}

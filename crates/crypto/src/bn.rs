@@ -1,0 +1,599 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Little-endian `u64` limbs, always normalized (no trailing zero limbs;
+//! zero is the empty limb vector). The algorithms favour clarity and easy
+//! verification over speed: schoolbook multiplication and shift-subtract
+//! division are ample for the key sizes the SMaCk experiments use, and the
+//! hot path (modular exponentiation) goes through [`crate::mont`] anyway.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use rand::Rng;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// ```
+/// use smack_crypto::Bignum;
+/// let a = Bignum::from_u64(7);
+/// let b = Bignum::from_u64(6);
+/// assert_eq!(a.mul(&b), Bignum::from_u64(42));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bignum {
+    /// Little-endian limbs; invariant: the last limb is nonzero.
+    limbs: Vec<u64>,
+}
+
+impl Bignum {
+    /// Zero.
+    pub fn zero() -> Bignum {
+        Bignum { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Bignum {
+        Bignum { limbs: vec![1] }
+    }
+
+    /// From a machine word.
+    pub fn from_u64(v: u64) -> Bignum {
+        if v == 0 {
+            Bignum::zero()
+        } else {
+            Bignum { limbs: vec![v] }
+        }
+    }
+
+    /// From little-endian limbs (normalizes).
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Bignum {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Bignum { limbs }
+    }
+
+    /// The little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// From big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Bignum {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut cur: u64 = 0;
+        let mut shift = 0;
+        for b in bytes.iter().rev() {
+            cur |= (*b as u64) << shift;
+            shift += 8;
+            if shift == 64 {
+                limbs.push(cur);
+                cur = 0;
+                shift = 0;
+            }
+        }
+        if shift > 0 {
+            limbs.push(cur);
+        }
+        Bignum::from_limbs(limbs)
+    }
+
+    /// To big-endian bytes (minimal length; zero encodes as empty).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        while out.first() == Some(&0) {
+            out.remove(0);
+        }
+        out
+    }
+
+    /// Parse a hexadecimal string (no prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-hex characters.
+    pub fn from_hex(s: &str) -> Bignum {
+        let mut v = Bignum::zero();
+        for c in s.chars() {
+            let d = c.to_digit(16).unwrap_or_else(|| panic!("invalid hex digit {c:?}"));
+            v = v.shl_bits(4);
+            v = v.add(&Bignum::from_u64(d as u64));
+        }
+        v
+    }
+
+    /// Lowercase hexadecimal representation (no prefix; zero is "0").
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_owned();
+        }
+        let mut s = format!("{:x}", self.limbs.last().expect("nonzero"));
+        for limb in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{limb:016x}"));
+        }
+        s
+    }
+
+    /// Is this zero?
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Is this even?
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Bit `i` (little-endian numbering; out-of-range bits are 0).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Set bit `i` to 1, growing as needed.
+    pub fn set_bit(&mut self, i: usize) {
+        let (limb, off) = (i / 64, i % 64);
+        if limb >= self.limbs.len() {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1 << off;
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Bignum) -> Bignum {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        Bignum::from_limbs(out)
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &Bignum) -> Bignum {
+        assert!(self >= other, "bignum subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Bignum::from_limbs(out)
+    }
+
+    /// `self * other` (schoolbook).
+    pub fn mul(&self, other: &Bignum) -> Bignum {
+        if self.is_zero() || other.is_zero() {
+            return Bignum::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        Bignum::from_limbs(out)
+    }
+
+    /// `self << bits`.
+    pub fn shl_bits(&self, bits: usize) -> Bignum {
+        if self.is_zero() || bits == 0 {
+            return if bits == 0 { self.clone() } else { Bignum::zero() };
+        }
+        let (limb_shift, bit_shift) = (bits / 64, bits % 64);
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            out[i + limb_shift] |= l << bit_shift;
+            if bit_shift > 0 {
+                out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+            }
+        }
+        Bignum::from_limbs(out)
+    }
+
+    /// `self >> bits`.
+    pub fn shr_bits(&self, bits: usize) -> Bignum {
+        let (limb_shift, bit_shift) = (bits / 64, bits % 64);
+        if limb_shift >= self.limbs.len() {
+            return Bignum::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        for i in limb_shift..self.limbs.len() {
+            let mut l = self.limbs[i] >> bit_shift;
+            if bit_shift > 0 && i + 1 < self.limbs.len() {
+                l |= self.limbs[i + 1] << (64 - bit_shift);
+            }
+            out.push(l);
+        }
+        Bignum::from_limbs(out)
+    }
+
+    /// Shift-subtract division: returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn div_rem(&self, divisor: &Bignum) -> (Bignum, Bignum) {
+        assert!(!divisor.is_zero(), "bignum division by zero");
+        if self < divisor {
+            return (Bignum::zero(), self.clone());
+        }
+        let mut q = Bignum::zero();
+        let mut r = Bignum::zero();
+        for i in (0..self.bit_len()).rev() {
+            r = r.shl_bits(1);
+            if self.bit(i) {
+                r.set_bit(0);
+            }
+            if r >= *divisor {
+                r = r.sub(divisor);
+                q.set_bit(i);
+            }
+        }
+        (q, r)
+    }
+
+    /// `self mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_reduce(&self, m: &Bignum) -> Bignum {
+        if self < m {
+            return self.clone();
+        }
+        self.div_rem(m).1
+    }
+
+    /// `(self + other) mod m`. Inputs must already be `< m`.
+    pub fn mod_add(&self, other: &Bignum, m: &Bignum) -> Bignum {
+        let s = self.add(other);
+        if s >= *m {
+            s.sub(m)
+        } else {
+            s
+        }
+    }
+
+    /// `(self - other) mod m`. Inputs must already be `< m`.
+    pub fn mod_sub(&self, other: &Bignum, m: &Bignum) -> Bignum {
+        if self >= other {
+            self.sub(other)
+        } else {
+            self.add(m).sub(other)
+        }
+    }
+
+    /// `(self * other) mod m` (schoolbook + reduce; for hot paths use
+    /// [`crate::mont::MontCtx`]).
+    pub fn mod_mul(&self, other: &Bignum, m: &Bignum) -> Bignum {
+        self.mul(other).mod_reduce(m)
+    }
+
+    /// Modular inverse `self^-1 mod m`, if it exists.
+    pub fn mod_inverse(&self, m: &Bignum) -> Option<Bignum> {
+        if m.is_zero() || self.is_zero() {
+            return None;
+        }
+        let mut r0 = m.clone();
+        let mut r1 = self.mod_reduce(m);
+        let mut t0 = Bignum::zero();
+        let mut t1 = Bignum::one();
+        while !r1.is_zero() {
+            let (q, r2) = r0.div_rem(&r1);
+            let qt = q.mul(&t1).mod_reduce(m);
+            let t2 = t0.mod_sub(&qt, m);
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if r0 == Bignum::one() {
+            Some(t0)
+        } else {
+            None
+        }
+    }
+
+    /// Greatest common divisor.
+    pub fn gcd(&self, other: &Bignum) -> Bignum {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.mod_reduce(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// A uniformly random value with exactly `bits` bits (top bit set).
+    pub fn random_bits(rng: &mut impl Rng, bits: usize) -> Bignum {
+        assert!(bits > 0, "need at least one bit");
+        let limbs = bits.div_ceil(64);
+        let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+        let top_bits = bits - (limbs - 1) * 64;
+        let mask = if top_bits == 64 { u64::MAX } else { (1u64 << top_bits) - 1 };
+        let last = limbs - 1;
+        v[last] &= mask;
+        v[last] |= 1u64 << (top_bits - 1);
+        Bignum::from_limbs(v)
+    }
+
+    /// A uniformly random value in `[1, m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m <= 1`.
+    pub fn random_below(rng: &mut impl Rng, m: &Bignum) -> Bignum {
+        assert!(*m > Bignum::one(), "modulus must exceed one");
+        let bits = m.bit_len();
+        loop {
+            let limbs = bits.div_ceil(64);
+            let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+            let top_bits = bits - (limbs - 1) * 64;
+            let mask = if top_bits == 64 { u64::MAX } else { (1u64 << top_bits) - 1 };
+            let last = limbs - 1;
+            v[last] &= mask;
+            let c = Bignum::from_limbs(v);
+            if !c.is_zero() && c < *m {
+                return c;
+            }
+        }
+    }
+}
+
+impl PartialOrd for Bignum {
+    fn partial_cmp(&self, other: &Bignum) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bignum {
+    fn cmp(&self, other: &Bignum) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        o => return o,
+                    }
+                }
+                Ordering::Equal
+            }
+            o => o,
+        }
+    }
+}
+
+impl fmt::Debug for Bignum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bignum(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Bignum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl From<u64> for Bignum {
+    fn from(v: u64) -> Bignum {
+        Bignum::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn bn(v: u64) -> Bignum {
+        Bignum::from_u64(v)
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(bn(2).add(&bn(3)), bn(5));
+        assert_eq!(bn(10).sub(&bn(4)), bn(6));
+        assert_eq!(bn(7).mul(&bn(8)), bn(56));
+        assert_eq!(bn(100).div_rem(&bn(7)), (bn(14), bn(2)));
+    }
+
+    #[test]
+    fn carries_across_limbs() {
+        let max = Bignum::from_u64(u64::MAX);
+        let two = max.add(&Bignum::one());
+        assert_eq!(two.limbs(), &[0, 1]);
+        assert_eq!(two.sub(&Bignum::one()), max);
+        let sq = max.mul(&max);
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        assert_eq!(sq.limbs(), &[1, u64::MAX - 1]);
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let v = Bignum::from_hex("deadbeef0123456789abcdef00000000ffffffffffffffff");
+        assert_eq!(v.to_hex(), "deadbeef0123456789abcdef00000000ffffffffffffffff");
+        assert_eq!(Bignum::zero().to_hex(), "0");
+        assert_eq!(Bignum::from_hex("0"), Bignum::zero());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let v = Bignum::from_bytes_be(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+        assert_eq!(v.to_bytes_be(), vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+    }
+
+    #[test]
+    fn bits_and_shifts() {
+        let v = Bignum::from_hex("8000000000000001");
+        assert_eq!(v.bit_len(), 64);
+        assert!(v.bit(0));
+        assert!(v.bit(63));
+        assert!(!v.bit(32));
+        assert_eq!(v.shl_bits(4).to_hex(), "80000000000000010");
+        assert_eq!(v.shr_bits(1).to_hex(), "4000000000000000");
+        assert_eq!(v.shr_bits(64), Bignum::zero());
+        assert_eq!(v.shl_bits(64).bit_len(), 128);
+    }
+
+    #[test]
+    fn mod_inverse_known_values() {
+        // 3^-1 mod 7 = 5
+        assert_eq!(bn(3).mod_inverse(&bn(7)), Some(bn(5)));
+        // gcd(4, 8) != 1 -> no inverse
+        assert_eq!(bn(4).mod_inverse(&bn(8)), None);
+        // e = 65537 mod small phi
+        let e = bn(65537);
+        let phi = bn(3120);
+        if let Some(d) = e.mod_inverse(&phi) {
+            assert_eq!(e.mul(&d).mod_reduce(&phi), Bignum::one());
+        }
+    }
+
+    #[test]
+    fn mod_sub_wraps() {
+        let m = bn(17);
+        assert_eq!(bn(3).mod_sub(&bn(5), &m), bn(15));
+        assert_eq!(bn(5).mod_sub(&bn(3), &m), bn(2));
+    }
+
+    #[test]
+    fn random_bits_has_exact_length() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for bits in [1usize, 5, 63, 64, 65, 127, 128, 1024] {
+            let v = Bignum::random_bits(&mut rng, bits);
+            assert_eq!(v.bit_len(), bits, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = Bignum::from_hex("10000000000000000000001");
+        for _ in 0..50 {
+            let v = Bignum::random_below(&mut rng, &m);
+            assert!(!v.is_zero() && v < m);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_sub_round_trip(a in proptest::collection::vec(any::<u64>(), 0..6),
+                                   b in proptest::collection::vec(any::<u64>(), 0..6)) {
+            let a = Bignum::from_limbs(a);
+            let b = Bignum::from_limbs(b);
+            let s = a.add(&b);
+            prop_assert_eq!(s.sub(&b), a);
+        }
+
+        #[test]
+        fn prop_mul_commutes_and_distributes(
+            a in proptest::collection::vec(any::<u64>(), 0..4),
+            b in proptest::collection::vec(any::<u64>(), 0..4),
+            c in proptest::collection::vec(any::<u64>(), 0..4),
+        ) {
+            let a = Bignum::from_limbs(a);
+            let b = Bignum::from_limbs(b);
+            let c = Bignum::from_limbs(c);
+            prop_assert_eq!(a.mul(&b), b.mul(&a));
+            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        }
+
+        #[test]
+        fn prop_div_rem_invariant(
+            a in proptest::collection::vec(any::<u64>(), 0..6),
+            b in proptest::collection::vec(1u64..u64::MAX, 1..4),
+        ) {
+            let a = Bignum::from_limbs(a);
+            let b = Bignum::from_limbs(b);
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(&b);
+            prop_assert!(r < b);
+            prop_assert_eq!(q.mul(&b).add(&r), a);
+        }
+
+        #[test]
+        fn prop_shift_round_trip(a in proptest::collection::vec(any::<u64>(), 0..4),
+                                 s in 0usize..130) {
+            let a = Bignum::from_limbs(a);
+            prop_assert_eq!(a.shl_bits(s).shr_bits(s), a);
+        }
+
+        #[test]
+        fn prop_mod_inverse_is_inverse(
+            a in proptest::collection::vec(any::<u64>(), 1..3),
+            m in proptest::collection::vec(any::<u64>(), 1..3),
+        ) {
+            let a = Bignum::from_limbs(a);
+            let m = Bignum::from_limbs(m);
+            prop_assume!(m > Bignum::one());
+            if let Some(inv) = a.mod_inverse(&m) {
+                prop_assert_eq!(a.mul(&inv).mod_reduce(&m), Bignum::one());
+            }
+        }
+
+        #[test]
+        fn prop_bytes_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..40)) {
+            let v = Bignum::from_bytes_be(&bytes);
+            let out = v.to_bytes_be();
+            // Leading zeros are not preserved, so compare values.
+            prop_assert_eq!(Bignum::from_bytes_be(&out), v);
+        }
+
+        #[test]
+        fn prop_ord_total(a in proptest::collection::vec(any::<u64>(), 0..4),
+                          b in proptest::collection::vec(any::<u64>(), 0..4)) {
+            let a = Bignum::from_limbs(a);
+            let b = Bignum::from_limbs(b);
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => prop_assert!(b > a),
+                std::cmp::Ordering::Equal => prop_assert_eq!(&a, &b),
+                std::cmp::Ordering::Greater => prop_assert!(a > b),
+            }
+        }
+    }
+}

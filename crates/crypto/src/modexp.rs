@@ -1,0 +1,389 @@
+//! Modular exponentiation algorithms and their operation schedules.
+//!
+//! The SMaCk case studies leak the *sequence of squares and multiplies*
+//! executed by a victim's modular exponentiation:
+//!
+//! * Case study II (RSA, Libgcrypt 1.5.1): left-to-right binary
+//!   square-and-multiply — one square per exponent bit, one extra multiply
+//!   per set bit ([`binary_ltr`]).
+//! * Case study III (SRP, OpenSSL 1.1.1w `BN_mod_exp_mont` without the
+//!   constant-time flag): sliding-window exponentiation with window size up
+//!   to 6 ([`sliding_window`]), where runs of squares between multiplies
+//!   encode the exponent's bit structure, and the middle bits of each
+//!   window stay unknown ("1XXXX1" in the paper's Figure 6).
+//!
+//! [`binary_ltr_schedule`] and [`sliding_window_schedule`] extract exactly
+//! the operation sequence without doing any bignum arithmetic; the victim
+//! programs in `smack-victims` are generated from the same control flow, and
+//! the tests below cross-validate schedule against actual execution.
+
+use crate::bn::Bignum;
+use crate::mont::MontCtx;
+
+/// One operation in a modular-exponentiation schedule.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ModexpOp {
+    /// A Montgomery squaring (`bn_mul_mont_fixed_top(r, r, r, ...)`).
+    Square,
+    /// A Montgomery multiplication by a power of the base.
+    Multiply,
+}
+
+/// OpenSSL's `BN_window_bits_for_exponent_size` policy.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct WindowSizing;
+
+impl WindowSizing {
+    /// Window size (in bits) used for an exponent of `bits` bits.
+    pub fn for_exponent_bits(bits: usize) -> usize {
+        if bits > 671 {
+            6
+        } else if bits > 239 {
+            5
+        } else if bits > 79 {
+            4
+        } else if bits > 23 {
+            3
+        } else {
+            1
+        }
+    }
+}
+
+/// Left-to-right binary square-and-multiply, Libgcrypt-1.5.1 style.
+///
+/// Leaks one [`ModexpOp::Multiply`] per set exponent bit.
+pub fn binary_ltr(base: &Bignum, exp: &Bignum, modulus: &Bignum) -> Bignum {
+    let ctx = MontCtx::new(modulus);
+    let g = ctx.to_mont(base);
+    let mut r = ctx.one();
+    for i in (0..exp.bit_len()).rev() {
+        r = ctx.mul(&r, &r);
+        if exp.bit(i) {
+            r = ctx.mul(&r, &g);
+        }
+    }
+    ctx.from_mont(&r)
+}
+
+/// The square/multiply schedule [`binary_ltr`] executes for `exp`.
+pub fn binary_ltr_schedule(exp: &Bignum) -> Vec<ModexpOp> {
+    let mut ops = Vec::with_capacity(exp.bit_len() * 3 / 2);
+    for i in (0..exp.bit_len()).rev() {
+        ops.push(ModexpOp::Square);
+        if exp.bit(i) {
+            ops.push(ModexpOp::Multiply);
+        }
+    }
+    ops
+}
+
+/// Sliding-window exponentiation following OpenSSL 1.1.1w
+/// `BN_mod_exp_mont` (Listing 4 in the paper).
+pub fn sliding_window(base: &Bignum, exp: &Bignum, modulus: &Bignum) -> Bignum {
+    if exp.is_zero() {
+        return Bignum::one().mod_reduce(modulus);
+    }
+    let ctx = MontCtx::new(modulus);
+    let window = WindowSizing::for_exponent_bits(exp.bit_len());
+    // Precompute odd powers val[i] = g^(2i+1).
+    let g = ctx.to_mont(base);
+    let g2 = ctx.mul(&g, &g);
+    let mut val = Vec::with_capacity(1 << (window - 1));
+    val.push(g.clone());
+    for i in 1..(1usize << (window - 1)) {
+        let prev = &val[i - 1];
+        val.push(ctx.mul(prev, &g2));
+    }
+    let mut r = ctx.one();
+    let mut started = false;
+    let mut wstart = exp.bit_len() as isize - 1;
+    while wstart >= 0 {
+        if !exp.bit(wstart as usize) {
+            if started {
+                r = ctx.mul(&r, &r);
+            }
+            wstart -= 1;
+            continue;
+        }
+        // Scan for the furthest set bit within the window.
+        let mut wvalue: u64 = 1;
+        let mut wend: usize = 0;
+        for i in 1..window {
+            if (wstart as usize) < i {
+                break;
+            }
+            if exp.bit(wstart as usize - i) {
+                wvalue <<= i - wend;
+                wvalue |= 1;
+                wend = i;
+            }
+        }
+        for _ in 0..=wend {
+            if started {
+                r = ctx.mul(&r, &r);
+            } else {
+                // First window: squaring one is skipped (OpenSSL keeps r=1
+                // until the first multiply).
+            }
+        }
+        if started {
+            r = ctx.mul(&r, &val[(wvalue >> 1) as usize]);
+        } else {
+            r = val[(wvalue >> 1) as usize].clone();
+            started = true;
+        }
+        wstart -= wend as isize + 1;
+    }
+    ctx.from_mont(&r)
+}
+
+/// One decoded step of a sliding-window schedule.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct WindowStep {
+    /// Number of squarings executed before the multiply (equals the window
+    /// width; zero multiplies means trailing squares).
+    pub squares: u32,
+    /// The odd window value multiplied in (`wvalue`), if any.
+    pub wvalue: Option<u64>,
+    /// Window width in bits covered by this step (1 for a lone `0` bit).
+    pub bits: u32,
+}
+
+/// The full square/multiply schedule [`sliding_window`] executes, with the
+/// flat op list and the per-bit knowledge mask an attacker can recover.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SlidingWindowSchedule {
+    /// Flat operation sequence.
+    pub ops: Vec<ModexpOp>,
+    /// Steps, from most-significant processing order.
+    pub steps: Vec<WindowStep>,
+    /// For each exponent bit (little-endian index), whether the bit's value
+    /// is recoverable from a perfect trace: zeros between windows and the
+    /// first/last bit of every window are known; interior window bits are
+    /// the paper's "X" bits.
+    pub known_bits: Vec<bool>,
+}
+
+/// Extract the sliding-window schedule without any bignum arithmetic.
+pub fn sliding_window_schedule(exp: &Bignum) -> SlidingWindowSchedule {
+    let bits = exp.bit_len();
+    if bits == 0 {
+        return SlidingWindowSchedule::default();
+    }
+    let window = WindowSizing::for_exponent_bits(bits);
+    let mut out = SlidingWindowSchedule {
+        ops: Vec::new(),
+        steps: Vec::new(),
+        known_bits: vec![false; bits],
+    };
+    let mut started = false;
+    let mut wstart = bits as isize - 1;
+    while wstart >= 0 {
+        let pos = wstart as usize;
+        if !exp.bit(pos) {
+            if started {
+                out.ops.push(ModexpOp::Square);
+            }
+            out.steps.push(WindowStep { squares: u32::from(started), wvalue: None, bits: 1 });
+            out.known_bits[pos] = true; // a lone zero is directly visible
+            wstart -= 1;
+            continue;
+        }
+        let mut wvalue: u64 = 1;
+        let mut wend: usize = 0;
+        for i in 1..window {
+            if (wstart as usize) < i {
+                break;
+            }
+            if exp.bit(pos - i) {
+                wvalue <<= i - wend;
+                wvalue |= 1;
+                wend = i;
+            }
+        }
+        let squares = if started { wend as u32 + 1 } else { 0 };
+        for _ in 0..squares {
+            out.ops.push(ModexpOp::Square);
+        }
+        out.ops.push(ModexpOp::Multiply);
+        out.steps.push(WindowStep { squares, wvalue: Some(wvalue), bits: wend as u32 + 1 });
+        // Window endpoints are set bits by construction; the attacker
+        // learns them. Interior bits remain unknown unless the window is
+        // width <= 2.
+        out.known_bits[pos] = true;
+        out.known_bits[pos - wend] = true;
+        started = true;
+        wstart -= wend as isize + 1;
+    }
+    out
+}
+
+/// Constant-time Montgomery-ladder exponentiation (the countermeasure
+/// referenced in §6.2: no secret-dependent schedule).
+pub fn montgomery_ladder(base: &Bignum, exp: &Bignum, modulus: &Bignum) -> Bignum {
+    let ctx = MontCtx::new(modulus);
+    let mut r0 = ctx.one();
+    let mut r1 = ctx.to_mont(base);
+    for i in (0..exp.bit_len()).rev() {
+        if exp.bit(i) {
+            r0 = ctx.mul(&r0, &r1);
+            r1 = ctx.mul(&r1, &r1);
+        } else {
+            r1 = ctx.mul(&r0, &r1);
+            r0 = ctx.mul(&r0, &r0);
+        }
+    }
+    ctx.from_mont(&r0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn bn(v: u64) -> Bignum {
+        Bignum::from_u64(v)
+    }
+
+    fn pow_mod_u64(b: u64, e: u64, m: u64) -> u64 {
+        let mut r: u128 = 1;
+        let mut b = b as u128 % m as u128;
+        let mut e = e;
+        while e > 0 {
+            if e & 1 == 1 {
+                r = r * b % m as u128;
+            }
+            b = b * b % m as u128;
+            e >>= 1;
+        }
+        r as u64
+    }
+
+    #[test]
+    fn binary_ltr_small_values() {
+        assert_eq!(binary_ltr(&bn(3), &bn(10), &bn(1001)), bn(pow_mod_u64(3, 10, 1001)));
+        assert_eq!(binary_ltr(&bn(2), &bn(0), &bn(97)), bn(1));
+        assert_eq!(binary_ltr(&bn(5), &bn(1), &bn(97)), bn(5));
+    }
+
+    #[test]
+    fn binary_schedule_counts() {
+        // exp = 0b1011 -> S M S S M S M  (square per bit, multiply per 1).
+        let ops = binary_ltr_schedule(&bn(0b1011));
+        assert_eq!(
+            ops,
+            vec![
+                ModexpOp::Square,
+                ModexpOp::Multiply,
+                ModexpOp::Square,
+                ModexpOp::Square,
+                ModexpOp::Multiply,
+                ModexpOp::Square,
+                ModexpOp::Multiply,
+            ]
+        );
+    }
+
+    #[test]
+    fn window_sizing_matches_openssl() {
+        assert_eq!(WindowSizing::for_exponent_bits(2048), 6);
+        assert_eq!(WindowSizing::for_exponent_bits(672), 6);
+        assert_eq!(WindowSizing::for_exponent_bits(671), 5);
+        assert_eq!(WindowSizing::for_exponent_bits(240), 5);
+        assert_eq!(WindowSizing::for_exponent_bits(239), 4);
+        assert_eq!(WindowSizing::for_exponent_bits(80), 4);
+        assert_eq!(WindowSizing::for_exponent_bits(79), 3);
+        assert_eq!(WindowSizing::for_exponent_bits(24), 3);
+        assert_eq!(WindowSizing::for_exponent_bits(23), 1);
+    }
+
+    #[test]
+    fn sliding_window_matches_binary() {
+        let m = Bignum::from_hex("ffffffffffffffc5");
+        let mut rng = SmallRng::seed_from_u64(3);
+        for bits in [8usize, 24, 80, 240] {
+            let e = Bignum::random_bits(&mut rng, bits);
+            let b = Bignum::random_below(&mut rng, &m);
+            assert_eq!(sliding_window(&b, &e, &m), binary_ltr(&b, &e, &m), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn ladder_matches_binary() {
+        let m = Bignum::from_hex("ffffffffffffffc5");
+        let mut rng = SmallRng::seed_from_u64(4);
+        let e = Bignum::random_bits(&mut rng, 96);
+        let b = Bignum::random_below(&mut rng, &m);
+        assert_eq!(montgomery_ladder(&b, &e, &m), binary_ltr(&b, &e, &m));
+    }
+
+    #[test]
+    fn schedule_known_bits_structure() {
+        // 0b101001: window=1 for tiny exponents -> all bits known.
+        let s = sliding_window_schedule(&bn(0b101001));
+        assert!(s.known_bits.iter().all(|b| *b));
+        // Large exponent with big windows: some interior bits unknown.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let e = Bignum::random_bits(&mut rng, 1024);
+        let s = sliding_window_schedule(&e);
+        let known = s.known_bits.iter().filter(|b| **b).count();
+        assert!(known > 300, "a healthy fraction of bits is recoverable");
+        assert!(known < 1024, "window interiors must stay unknown");
+        // The paper reports ~45% unknown bits for random keys.
+        let unknown_frac = 1.0 - known as f64 / 1024.0;
+        assert!(unknown_frac > 0.25 && unknown_frac < 0.60, "unknown fraction {unknown_frac}");
+    }
+
+    #[test]
+    fn schedule_ops_match_execution_structure() {
+        // The number of multiplies equals the number of windows; squares
+        // equal (bits - leading-window bits) for started processing.
+        let mut rng = SmallRng::seed_from_u64(6);
+        let e = Bignum::random_bits(&mut rng, 512);
+        let s = sliding_window_schedule(&e);
+        let mults = s.ops.iter().filter(|o| **o == ModexpOp::Multiply).count();
+        let windows = s.steps.iter().filter(|st| st.wvalue.is_some()).count();
+        assert_eq!(mults, windows);
+        // Every window value is odd.
+        for st in &s.steps {
+            if let Some(w) = st.wvalue {
+                assert_eq!(w & 1, 1, "window values are odd by construction");
+            }
+        }
+        // Total bits covered = exponent bit length.
+        let covered: u32 = s.steps.iter().map(|st| st.bits).sum();
+        assert_eq!(covered as usize, e.bit_len());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_all_algorithms_agree(seed in any::<u64>()) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut m = Bignum::random_bits(&mut rng, 128);
+            if m.is_even() { m = m.add(&Bignum::one()); }
+            let e = Bignum::random_bits(&mut rng, 64);
+            let b = Bignum::random_below(&mut rng, &m);
+            let r1 = binary_ltr(&b, &e, &m);
+            let r2 = sliding_window(&b, &e, &m);
+            let r3 = montgomery_ladder(&b, &e, &m);
+            prop_assert_eq!(&r1, &r2);
+            prop_assert_eq!(&r1, &r3);
+        }
+
+        #[test]
+        fn prop_binary_schedule_shape(seed in any::<u64>(), bits in 2usize..200) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let e = Bignum::random_bits(&mut rng, bits);
+            let ops = binary_ltr_schedule(&e);
+            let squares = ops.iter().filter(|o| **o == ModexpOp::Square).count();
+            let mults = ops.iter().filter(|o| **o == ModexpOp::Multiply).count();
+            prop_assert_eq!(squares, bits);
+            let ones = (0..bits).filter(|i| e.bit(*i)).count();
+            prop_assert_eq!(mults, ones);
+        }
+    }
+}

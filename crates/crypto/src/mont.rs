@@ -1,0 +1,197 @@
+//! Montgomery multiplication (CIOS), mirroring OpenSSL's `BN_MONT_CTX`.
+//!
+//! All of the modular exponentiation algorithms in [`crate::modexp`] run on
+//! top of this context, exactly as `BN_mod_exp_mont` does — which is what
+//! makes their square/multiply schedules the secret-dependent signal SMaCk
+//! observes through the instruction cache.
+
+use crate::bn::Bignum;
+
+/// Montgomery context for an odd modulus `n`.
+///
+/// ```
+/// use smack_crypto::{Bignum, MontCtx};
+/// let n = Bignum::from_u64(101);
+/// let ctx = MontCtx::new(&n);
+/// let a = ctx.to_mont(&Bignum::from_u64(7));
+/// let b = ctx.to_mont(&Bignum::from_u64(5));
+/// let ab = ctx.mul(&a, &b);
+/// assert_eq!(ctx.from_mont(&ab), Bignum::from_u64(35));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MontCtx {
+    n: Vec<u64>,
+    n_bn: Bignum,
+    n0inv: u64,
+    r2: Vec<u64>,
+    k: usize,
+}
+
+impl MontCtx {
+    /// Build a context for the odd modulus `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even or < 3.
+    pub fn new(n: &Bignum) -> MontCtx {
+        assert!(!n.is_even(), "Montgomery modulus must be odd");
+        assert!(*n > Bignum::from_u64(2), "modulus too small");
+        let limbs = n.limbs().to_vec();
+        let k = limbs.len();
+        // n0inv = -n^-1 mod 2^64 via Newton iteration.
+        let n0 = limbs[0];
+        let mut x: u64 = 1;
+        for _ in 0..6 {
+            x = x.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(x)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(x), 1);
+        let n0inv = x.wrapping_neg();
+        // R^2 mod n, R = 2^(64k).
+        let r2_bn = Bignum::one().shl_bits(2 * 64 * k).mod_reduce(n);
+        let mut r2 = r2_bn.limbs().to_vec();
+        r2.resize(k, 0);
+        MontCtx { n: limbs, n_bn: n.clone(), n0inv, r2, k }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Bignum {
+        &self.n_bn
+    }
+
+    /// Limb width of Montgomery residues.
+    pub fn width(&self) -> usize {
+        self.k
+    }
+
+    /// Montgomery product of two residues (each `k` limbs).
+    pub fn mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        debug_assert_eq!(a.len(), self.k);
+        debug_assert_eq!(b.len(), self.k);
+        let k = self.k;
+        let mut t = vec![0u64; k + 2];
+        for &ai in a.iter() {
+            // t += ai * b
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let cur = t[j] as u128 + (ai as u128) * (b[j] as u128) + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k] = cur as u64;
+            t[k + 1] = t[k + 1].wrapping_add((cur >> 64) as u64);
+            // m = t[0] * n0inv mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n0inv);
+            let mut carry: u128 = (t[0] as u128 + (m as u128) * (self.n[0] as u128)) >> 64;
+            for j in 1..k {
+                let cur = t[j] as u128 + (m as u128) * (self.n[j] as u128) + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k - 1] = cur as u64;
+            t[k] = t[k + 1].wrapping_add((cur >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        t.truncate(k + 1);
+        // Final conditional subtraction.
+        let ge = t[k] > 0 || Self::cmp_limbs(&t[..k], &self.n) != std::cmp::Ordering::Less;
+        let mut out = t;
+        if ge {
+            let mut borrow = 0u64;
+            for j in 0..k {
+                let (d1, b1) = out[j].overflowing_sub(self.n[j]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                out[j] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+            out[k] = out[k].wrapping_sub(borrow);
+        }
+        out.truncate(k);
+        out
+    }
+
+    fn cmp_limbs(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
+        debug_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            match x.cmp(y) {
+                std::cmp::Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// Convert into the Montgomery domain: `x * R mod n`.
+    pub fn to_mont(&self, x: &Bignum) -> Vec<u64> {
+        let reduced = x.mod_reduce(&self.n_bn);
+        let mut xs = reduced.limbs().to_vec();
+        xs.resize(self.k, 0);
+        self.mul(&xs, &self.r2)
+    }
+
+    /// Convert out of the Montgomery domain.
+    pub fn from_mont(&self, x: &[u64]) -> Bignum {
+        let mut one = vec![0u64; self.k];
+        one[0] = 1;
+        Bignum::from_limbs(self.mul(x, &one))
+    }
+
+    /// The Montgomery representation of one.
+    pub fn one(&self) -> Vec<u64> {
+        self.to_mont(&Bignum::one())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_small() {
+        let n = Bignum::from_u64(0xffff_ffff_ffff_ffc5); // odd
+        let ctx = MontCtx::new(&n);
+        for v in [0u64, 1, 2, 12345, 0xdead_beef] {
+            let x = Bignum::from_u64(v);
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&x)), x.mod_reduce(&n));
+        }
+    }
+
+    #[test]
+    fn multiplication_matches_schoolbook() {
+        let n = Bignum::from_hex("f123456789abcdef123456789abcdef1");
+        let ctx = MontCtx::new(&n);
+        let a = Bignum::from_hex("123456789abcdef");
+        let b = Bignum::from_hex("fedcba9876543210fedcba");
+        let ma = ctx.to_mont(&a);
+        let mb = ctx.to_mont(&b);
+        let got = ctx.from_mont(&ctx.mul(&ma, &mb));
+        assert_eq!(got, a.mod_mul(&b, &n));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_modulus_rejected() {
+        MontCtx::new(&Bignum::from_u64(100));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_mont_mul_correct(seed in any::<u64>(), bits in 64usize..512) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut n = Bignum::random_bits(&mut rng, bits);
+            if n.is_even() {
+                n = n.add(&Bignum::one());
+            }
+            let ctx = MontCtx::new(&n);
+            let a = Bignum::random_below(&mut rng, &n);
+            let b = Bignum::random_below(&mut rng, &n);
+            let got = ctx.from_mont(&ctx.mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+            prop_assert_eq!(got, a.mod_mul(&b, &n));
+        }
+    }
+}

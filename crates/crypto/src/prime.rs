@@ -1,0 +1,121 @@
+//! Miller–Rabin primality testing and prime generation.
+
+use rand::Rng;
+
+use crate::bn::Bignum;
+use crate::modexp::binary_ltr;
+
+/// Small primes used for cheap trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 20] =
+    [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71];
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+pub fn is_probable_prime(n: &Bignum, rounds: u32, rng: &mut impl Rng) -> bool {
+    if n.is_zero() || *n == Bignum::one() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p = Bignum::from_u64(p);
+        if *n == p {
+            return true;
+        }
+        if n.mod_reduce(&p).is_zero() {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^s
+    let n_minus_1 = n.sub(&Bignum::one());
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr_bits(1);
+        s += 1;
+    }
+    'witness: for _ in 0..rounds {
+        let a = Bignum::random_below(rng, &n_minus_1);
+        if a < Bignum::from_u64(2) {
+            continue;
+        }
+        let mut x = binary_ltr(&a, &d, n);
+        if x == Bignum::one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = x.mod_mul(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generate a random probable prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 3`.
+pub fn gen_prime(bits: usize, rng: &mut impl Rng) -> Bignum {
+    assert!(bits >= 3, "prime must have at least 3 bits");
+    loop {
+        let mut candidate = Bignum::random_bits(rng, bits);
+        if candidate.is_even() {
+            candidate = candidate.add(&Bignum::one());
+        }
+        if candidate.bit_len() != bits {
+            continue;
+        }
+        if is_probable_prime(&candidate, 12, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_primes_and_composites() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for p in [2u64, 3, 5, 7, 65537, 2147483647] {
+            assert!(is_probable_prime(&Bignum::from_u64(p), 16, &mut rng), "{p} is prime");
+        }
+        for c in [0u64, 1, 4, 9, 561, 41041, 825265, 65536, 2147483647 * 3] {
+            assert!(!is_probable_prime(&Bignum::from_u64(c), 16, &mut rng), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        // First few Carmichael numbers fool Fermat but not Miller-Rabin.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911] {
+            assert!(!is_probable_prime(&Bignum::from_u64(c), 16, &mut rng), "{c}");
+        }
+    }
+
+    #[test]
+    fn generated_primes_have_requested_size() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for bits in [16usize, 32, 64, 128] {
+            let p = gen_prime(bits, &mut rng);
+            assert_eq!(p.bit_len(), bits);
+            assert!(!p.is_even());
+        }
+    }
+
+    #[test]
+    fn large_known_prime() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        // 2^127 - 1 is a Mersenne prime.
+        let m127 = Bignum::one().shl_bits(127).sub(&Bignum::one());
+        assert!(is_probable_prime(&m127, 16, &mut rng));
+        // 2^128 - 1 is composite.
+        let m128 = Bignum::one().shl_bits(128).sub(&Bignum::one());
+        assert!(!is_probable_prime(&m128, 16, &mut rng));
+    }
+}

@@ -1,0 +1,143 @@
+//! RSA in the style of the paper's victim (Libgcrypt 1.5.1).
+//!
+//! Decryption uses plain left-to-right binary square-and-multiply
+//! ([`crate::modexp::binary_ltr`]) with **no** exponent blinding and **no**
+//! constant-time guarantees — the exact property SMaCk's Case Study II
+//! exploits to read the private exponent's bits out of the multiplication
+//! schedule.
+
+use rand::Rng;
+
+use crate::bn::Bignum;
+use crate::modexp::binary_ltr;
+use crate::prime::gen_prime;
+
+/// An RSA key pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RsaKeyPair {
+    n: Bignum,
+    e: Bignum,
+    d: Bignum,
+    p: Bignum,
+    q: Bignum,
+}
+
+impl RsaKeyPair {
+    /// Generate a key pair with an `bits`-bit modulus (use modest sizes in
+    /// tests; prime generation is honest Miller–Rabin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 16`.
+    pub fn generate(bits: usize, rng: &mut impl Rng) -> RsaKeyPair {
+        assert!(bits >= 16, "modulus too small");
+        let e = Bignum::from_u64(65537);
+        loop {
+            let p = gen_prime(bits / 2, rng);
+            let q = gen_prime(bits - bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let phi = p.sub(&Bignum::one()).mul(&q.sub(&Bignum::one()));
+            let Some(d) = e.mod_inverse(&phi) else {
+                continue;
+            };
+            if d.bit_len() < 2 {
+                continue;
+            }
+            return RsaKeyPair { n, e, d, p, q };
+        }
+    }
+
+    /// Construct from known components (used to pin test vectors).
+    pub fn from_components(n: Bignum, e: Bignum, d: Bignum, p: Bignum, q: Bignum) -> RsaKeyPair {
+        RsaKeyPair { n, e, d, p, q }
+    }
+
+    /// Public modulus.
+    pub fn n(&self) -> &Bignum {
+        &self.n
+    }
+
+    /// Public exponent.
+    pub fn e(&self) -> &Bignum {
+        &self.e
+    }
+
+    /// Private exponent — the secret SMaCk's RSA case study recovers.
+    pub fn d(&self) -> &Bignum {
+        &self.d
+    }
+
+    /// Prime factor `p`.
+    pub fn p(&self) -> &Bignum {
+        &self.p
+    }
+
+    /// Prime factor `q`.
+    pub fn q(&self) -> &Bignum {
+        &self.q
+    }
+
+    /// Public operation: `m^e mod n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= n`.
+    pub fn encrypt(&self, m: &Bignum) -> Bignum {
+        assert!(*m < self.n, "message must be below the modulus");
+        binary_ltr(m, &self.e, &self.n)
+    }
+
+    /// Private operation: `c^d mod n` via the leaky square-and-multiply.
+    pub fn decrypt(&self, c: &Bignum) -> Bignum {
+        binary_ltr(c, &self.d, &self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_small_keys() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for bits in [64usize, 128] {
+            let key = RsaKeyPair::generate(bits, &mut rng);
+            for _ in 0..5 {
+                let m = Bignum::random_below(&mut rng, key.n());
+                let c = key.encrypt(&m);
+                assert_eq!(key.decrypt(&c), m, "bits={bits}");
+                assert_ne!(c, m, "encryption should not be identity (w.h.p.)");
+            }
+        }
+    }
+
+    #[test]
+    fn medium_key_round_trip() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let key = RsaKeyPair::generate(256, &mut rng);
+        let m = Bignum::from_hex("5ec2e7");
+        assert_eq!(key.decrypt(&key.encrypt(&m)), m);
+        // d really is e^-1 mod phi.
+        let phi = key.p().sub(&Bignum::one()).mul(&key.q().sub(&Bignum::one()));
+        assert_eq!(key.e().mul(key.d()).mod_reduce(&phi), Bignum::one());
+    }
+
+    #[test]
+    fn components_round_trip() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let key = RsaKeyPair::generate(64, &mut rng);
+        let rebuilt = RsaKeyPair::from_components(
+            key.n().clone(),
+            key.e().clone(),
+            key.d().clone(),
+            key.p().clone(),
+            key.q().clone(),
+        );
+        assert_eq!(rebuilt, key);
+    }
+}

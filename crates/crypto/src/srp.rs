@@ -1,0 +1,307 @@
+//! The Secure Remote Password protocol (SRP-6a), modeled on OpenSSL
+//! 1.1.1w's implementation.
+//!
+//! The paper's Case Study III targets `SRP_Calc_server_key` (Listing 3):
+//! `S = (A * v^u)^b mod N`, computed with `BN_mod_exp_mont` *without* the
+//! `BN_FLG_CONSTTIME` flag — so the sliding-window schedule of the secret
+//! ephemeral exponent `b` leaks through the instruction cache, and because
+//! `b` is fresh per login the attack must succeed in a **single trace**.
+//!
+//! Group moduli are deterministic synthetic values of the RFC 5054 bit
+//! sizes (1024/2048/4096/6144); see the crate docs for why this
+//! substitution preserves the leakage behaviour.
+
+use rand::Rng;
+
+use crate::bn::Bignum;
+use crate::modexp::{sliding_window, SlidingWindowSchedule};
+use crate::sha256::Sha256;
+
+/// An SRP group `(N, g)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SrpGroup {
+    bits: usize,
+    n: Bignum,
+    g: Bignum,
+}
+
+impl SrpGroup {
+    /// The group sizes evaluated in the paper's Table 2.
+    pub const PAPER_SIZES: [usize; 4] = [1024, 2048, 4096, 6144];
+
+    /// Deterministic synthetic group of the given bit size.
+    ///
+    /// The modulus is expanded from SHA-256 of a domain-separation label,
+    /// with the top and bottom bits forced so it is odd and exactly `bits`
+    /// long. Exponentiation timing structure — all the paper measures —
+    /// depends only on the operand width.
+    pub fn synthetic(bits: usize) -> SrpGroup {
+        assert!(bits >= 256, "group too small");
+        let mut bytes = Vec::with_capacity(bits / 8);
+        let mut counter = 0u32;
+        while bytes.len() < bits / 8 {
+            let mut h = Sha256::new();
+            h.update(b"smack-srp-group");
+            h.update(&(bits as u32).to_be_bytes());
+            h.update(&counter.to_be_bytes());
+            bytes.extend_from_slice(&h.finalize());
+            counter += 1;
+        }
+        bytes.truncate(bits / 8);
+        bytes[0] |= 0x80; // exact bit length
+        let last = bytes.len() - 1;
+        bytes[last] |= 0x01; // odd (Montgomery-friendly)
+        let n = Bignum::from_bytes_be(&bytes);
+        SrpGroup { bits, n, g: Bignum::from_u64(2) }
+    }
+
+    /// Bit size of the modulus.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// The modulus `N`.
+    pub fn n(&self) -> &Bignum {
+        &self.n
+    }
+
+    /// The generator `g`.
+    pub fn g(&self) -> &Bignum {
+        &self.g
+    }
+
+    /// `PAD(x)`: big-endian, left-padded to the modulus length (RFC 5054).
+    pub fn pad(&self, x: &Bignum) -> Vec<u8> {
+        let len = self.bits / 8;
+        let mut b = x.to_bytes_be();
+        while b.len() < len {
+            b.insert(0, 0);
+        }
+        b
+    }
+
+    /// The multiplier `k = H(N || PAD(g))`.
+    pub fn k(&self) -> Bignum {
+        let mut h = Sha256::new();
+        h.update(&self.n.to_bytes_be());
+        h.update(&self.pad(&self.g));
+        Bignum::from_bytes_be(&h.finalize()).mod_reduce(&self.n)
+    }
+}
+
+/// Hash-to-scalar helpers shared by the client and server sides.
+fn hash_to_bn(parts: &[&[u8]], n: &Bignum) -> Bignum {
+    let mut h = Sha256::new();
+    for p in parts {
+        h.update(p);
+    }
+    Bignum::from_bytes_be(&h.finalize()).mod_reduce(n)
+}
+
+/// Compute the password-derived secret `x = H(salt || H(user ":" pwd))`.
+pub fn compute_x(salt: &[u8], username: &str, password: &str) -> Bignum {
+    let mut inner = Sha256::new();
+    inner.update(username.as_bytes());
+    inner.update(b":");
+    inner.update(password.as_bytes());
+    let inner = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(salt);
+    outer.update(&inner);
+    Bignum::from_bytes_be(&outer.finalize())
+}
+
+/// The server's stored password record `(client_id, v, salt)`.
+#[derive(Clone, Debug)]
+pub struct SrpVerifier {
+    /// Account name.
+    pub username: String,
+    /// Verifier `v = g^x mod N`.
+    pub v: Bignum,
+    /// Salt.
+    pub salt: Vec<u8>,
+}
+
+/// Register a user: derive the verifier from the password.
+pub fn register(group: &SrpGroup, username: &str, password: &str, salt: &[u8]) -> SrpVerifier {
+    let x = compute_x(salt, username, password);
+    let v = sliding_window(group.g(), &x, group.n());
+    SrpVerifier { username: username.to_owned(), v, salt: salt.to_vec() }
+}
+
+/// The server side of one SRP login.
+#[derive(Clone, Debug)]
+pub struct SrpServer {
+    group: SrpGroup,
+    verifier: SrpVerifier,
+    b: Bignum,
+    big_b: Bignum,
+}
+
+impl SrpServer {
+    /// Start a login: generates the ephemeral secret `b` and computes
+    /// `B = (k*v + g^b) mod N`.
+    pub fn start(group: &SrpGroup, verifier: &SrpVerifier, rng: &mut impl Rng) -> SrpServer {
+        let b = Bignum::random_below(rng, group.n());
+        Self::start_with_b(group, verifier, b)
+    }
+
+    /// Start a login with a caller-chosen `b` (used by the attack harness
+    /// to know the ground truth).
+    pub fn start_with_b(group: &SrpGroup, verifier: &SrpVerifier, b: Bignum) -> SrpServer {
+        let gb = sliding_window(group.g(), &b, group.n());
+        let kv = group.k().mod_mul(&verifier.v, group.n());
+        let big_b = kv.mod_add(&gb, group.n());
+        SrpServer { group: group.clone(), verifier: verifier.clone(), b, big_b }
+    }
+
+    /// The public ephemeral `B` sent to the client.
+    pub fn public_b(&self) -> &Bignum {
+        &self.big_b
+    }
+
+    /// The secret ephemeral exponent `b` — the paper's single-trace target.
+    pub fn secret_b(&self) -> &Bignum {
+        &self.b
+    }
+
+    /// The salt to send to the client.
+    pub fn salt(&self) -> &[u8] {
+        &self.verifier.salt
+    }
+
+    /// `u = H(PAD(A) || PAD(B))`.
+    pub fn scrambler(&self, big_a: &Bignum) -> Bignum {
+        hash_to_bn(
+            &[&self.group.pad(big_a), &self.group.pad(&self.big_b)],
+            self.group.n(),
+        )
+    }
+
+    /// `SRP_Calc_server_key`: `S = (A * v^u)^b mod N` via the leaky
+    /// sliding-window exponentiation (Listing 3 + Listing 4).
+    pub fn calc_server_key(&self, big_a: &Bignum) -> Bignum {
+        let u = self.scrambler(big_a);
+        // tmp = v^u mod N ; tmp = A * tmp mod N
+        let tmp = sliding_window(&self.verifier.v, &u, self.group.n());
+        let tmp = big_a.mod_mul(&tmp, self.group.n());
+        // S = tmp^b mod N   <-- exponent is the per-login secret b
+        sliding_window(&tmp, &self.b, self.group.n())
+    }
+
+    /// The sliding-window schedule the victim executes inside
+    /// [`SrpServer::calc_server_key`] — the attack's ground truth.
+    pub fn server_key_schedule(&self) -> SlidingWindowSchedule {
+        crate::modexp::sliding_window_schedule(&self.b)
+    }
+}
+
+/// The client side of one SRP login (used to validate protocol agreement).
+#[derive(Clone, Debug)]
+pub struct SrpClient {
+    group: SrpGroup,
+    a: Bignum,
+    big_a: Bignum,
+}
+
+impl SrpClient {
+    /// Start a login: generates `a`, computes `A = g^a mod N`.
+    pub fn start(group: &SrpGroup, rng: &mut impl Rng) -> SrpClient {
+        let a = Bignum::random_below(rng, group.n());
+        let big_a = sliding_window(group.g(), &a, group.n());
+        SrpClient { group: group.clone(), a, big_a }
+    }
+
+    /// The public ephemeral `A` sent to the server.
+    pub fn public_a(&self) -> &Bignum {
+        &self.big_a
+    }
+
+    /// Client shared secret: `S = (B - k*g^x)^(a + u*x) mod N`.
+    pub fn calc_client_key(
+        &self,
+        big_b: &Bignum,
+        username: &str,
+        password: &str,
+        salt: &[u8],
+    ) -> Bignum {
+        let n = self.group.n();
+        let x = compute_x(salt, username, password);
+        let u = hash_to_bn(&[&self.group.pad(&self.big_a), &self.group.pad(big_b)], n);
+        let gx = sliding_window(self.group.g(), &x, n);
+        let kgx = self.group.k().mod_mul(&gx, n);
+        let base = big_b.mod_reduce(n).mod_sub(&kgx, n);
+        let exp = self.a.add(&u.mul(&x));
+        sliding_window(&base, &exp, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synthetic_groups_are_deterministic_and_sized() {
+        for bits in SrpGroup::PAPER_SIZES {
+            let g1 = SrpGroup::synthetic(bits);
+            let g2 = SrpGroup::synthetic(bits);
+            assert_eq!(g1, g2);
+            assert_eq!(g1.n().bit_len(), bits);
+            assert!(!g1.n().is_even());
+        }
+        assert_ne!(SrpGroup::synthetic(1024).n(), SrpGroup::synthetic(2048).n());
+    }
+
+    #[test]
+    fn pad_produces_modulus_length() {
+        let g = SrpGroup::synthetic(1024);
+        assert_eq!(g.pad(&Bignum::from_u64(5)).len(), 128);
+        assert_eq!(g.pad(g.n()).len(), 128);
+    }
+
+    #[test]
+    fn client_and_server_agree_on_the_key() {
+        // Full protocol round trip on the smallest supported group: the
+        // agreement identity ((g^a)(g^x)^u)^b == (g^b)^(a+ux) holds for any
+        // odd modulus, prime or not.
+        let group = SrpGroup::synthetic(1024);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let verifier = register(&group, "alice", "correct horse battery", b"salty");
+        let client = SrpClient::start(&group, &mut rng);
+        let server = SrpServer::start(&group, &verifier, &mut rng);
+        let s_server = server.calc_server_key(client.public_a());
+        let s_client = client.calc_client_key(
+            server.public_b(),
+            "alice",
+            "correct horse battery",
+            server.salt(),
+        );
+        assert_eq!(s_server, s_client);
+    }
+
+    #[test]
+    fn wrong_password_disagrees() {
+        let group = SrpGroup::synthetic(1024);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let verifier = register(&group, "alice", "right password", b"salt!");
+        let client = SrpClient::start(&group, &mut rng);
+        let server = SrpServer::start(&group, &verifier, &mut rng);
+        let s_server = server.calc_server_key(client.public_a());
+        let s_client =
+            client.calc_client_key(server.public_b(), "alice", "wrong password", server.salt());
+        assert_ne!(s_server, s_client);
+    }
+
+    #[test]
+    fn schedule_matches_secret_b() {
+        let group = SrpGroup::synthetic(1024);
+        let verifier = register(&group, "bob", "pw", b"s");
+        let b = Bignum::from_hex("b1005ec2e7deadbeef0123456789abcdef");
+        let server = SrpServer::start_with_b(&group, &verifier, b.clone());
+        let sched = server.server_key_schedule();
+        assert_eq!(sched, crate::modexp::sliding_window_schedule(&b));
+        assert!(!sched.ops.is_empty());
+    }
+}

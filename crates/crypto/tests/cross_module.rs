@@ -1,0 +1,81 @@
+//! Cross-module crypto tests: RSA/SRP flows exercising bignum, Montgomery,
+//! modexp, schedules and hashing together.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smack_crypto::modexp::{
+    binary_ltr, binary_ltr_schedule, sliding_window_schedule, ModexpOp,
+};
+use smack_crypto::prime::is_probable_prime;
+use smack_crypto::srp::{register, SrpClient, SrpServer};
+use smack_crypto::{Bignum, RsaKeyPair, SrpGroup};
+
+#[test]
+fn rsa_schedule_length_matches_key_structure() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let key = RsaKeyPair::generate(96, &mut rng);
+    let sched = binary_ltr_schedule(key.d());
+    let squares = sched.iter().filter(|o| **o == ModexpOp::Square).count();
+    let mults = sched.iter().filter(|o| **o == ModexpOp::Multiply).count();
+    assert_eq!(squares, key.d().bit_len());
+    assert_eq!(mults, (0..key.d().bit_len()).filter(|i| key.d().bit(*i)).count());
+}
+
+#[test]
+fn rsa_primes_are_prime_and_distinct() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let key = RsaKeyPair::generate(128, &mut rng);
+    assert!(is_probable_prime(key.p(), 16, &mut rng));
+    assert!(is_probable_prime(key.q(), 16, &mut rng));
+    assert_ne!(key.p(), key.q());
+    assert_eq!(key.p().mul(key.q()), *key.n());
+}
+
+#[test]
+fn srp_works_across_all_paper_group_sizes() {
+    // Full handshakes on 1024 and 2048 (large groups are slow in tests but
+    // exercised by the table2 harness).
+    for bits in [1024usize, 2048] {
+        let group = SrpGroup::synthetic(bits);
+        let mut rng = SmallRng::seed_from_u64(bits as u64);
+        let v = register(&group, "carol", "pw", b"s");
+        let client = SrpClient::start(&group, &mut rng);
+        let server = SrpServer::start(&group, &v, &mut rng);
+        assert_eq!(
+            server.calc_server_key(client.public_a()),
+            client.calc_client_key(server.public_b(), "carol", "pw", server.salt()),
+            "group {bits}"
+        );
+    }
+}
+
+#[test]
+fn window_schedules_cover_every_key_bit_exactly_once() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    for bits in [64usize, 240, 672] {
+        let e = Bignum::random_bits(&mut rng, bits);
+        let s = sliding_window_schedule(&e);
+        let covered: u32 = s.steps.iter().map(|st| st.bits).sum();
+        assert_eq!(covered as usize, bits);
+        // Reconstructing the exponent from the steps gives the exponent
+        // back: windows carry their values, zero steps carry zeros.
+        let mut rebuilt = Bignum::zero();
+        for step in &s.steps {
+            for _ in 0..step.bits {
+                rebuilt = rebuilt.shl_bits(1);
+            }
+            if let Some(w) = step.wvalue {
+                rebuilt = rebuilt.add(&Bignum::from_u64(w));
+            }
+        }
+        assert_eq!(rebuilt, e, "bits={bits}");
+    }
+}
+
+#[test]
+fn modexp_edge_cases() {
+    let m = Bignum::from_u64(97);
+    assert_eq!(binary_ltr(&Bignum::zero(), &Bignum::from_u64(5), &m), Bignum::zero());
+    assert_eq!(binary_ltr(&Bignum::from_u64(5), &Bignum::zero(), &m), Bignum::one());
+    assert_eq!(binary_ltr(&Bignum::from_u64(96), &Bignum::from_u64(2), &m), Bignum::one());
+}

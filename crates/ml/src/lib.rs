@@ -1,0 +1,319 @@
+//! # smack-ml
+//!
+//! The small machine-learning toolbox SMaCk uses twice:
+//!
+//! * Case Study II step 1 fingerprints cryptographic library versions with
+//!   a k-nearest-neighbour model over L1i-set activity vectors (k = 3,
+//!   Euclidean distance, cross-validated) and step 2 detects the
+//!   multiplication set with a binary kNN;
+//! * §6.1 trains a benign-vs-attack detector over performance-counter
+//!   windows and reports accuracy / F-score / false-positive rate.
+//!
+//! Nothing here is SMaCk-specific: [`KnnClassifier`], dataset splitting,
+//! k-fold cross-validation and the usual classification metrics.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One labelled feature vector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Feature values.
+    pub features: Vec<f64>,
+    /// Class label.
+    pub label: usize,
+}
+
+impl Sample {
+    /// Create a sample.
+    pub fn new(features: Vec<f64>, label: usize) -> Sample {
+        Sample { features, label }
+    }
+}
+
+/// Euclidean distance between two feature vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "feature dimensionality mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// k-nearest-neighbour classifier with Euclidean distance and majority
+/// voting (ties broken by the nearest neighbour among tied classes).
+///
+/// ```
+/// use smack_ml::{KnnClassifier, Sample};
+/// let train = vec![
+///     Sample::new(vec![0.0, 0.0], 0),
+///     Sample::new(vec![0.1, 0.1], 0),
+///     Sample::new(vec![5.0, 5.0], 1),
+///     Sample::new(vec![5.1, 4.9], 1),
+/// ];
+/// let knn = KnnClassifier::fit(3, train);
+/// assert_eq!(knn.predict(&[0.2, 0.0]), 0);
+/// assert_eq!(knn.predict(&[4.9, 5.2]), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct KnnClassifier {
+    k: usize,
+    train: Vec<Sample>,
+}
+
+impl KnnClassifier {
+    /// Store the training set (kNN is a lazy learner).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or the training set is empty.
+    pub fn fit(k: usize, train: Vec<Sample>) -> KnnClassifier {
+        assert!(k > 0, "k must be positive");
+        assert!(!train.is_empty(), "training set must be nonempty");
+        KnnClassifier { k, train }
+    }
+
+    /// Number of neighbours considered.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Predict the label of a feature vector.
+    pub fn predict(&self, features: &[f64]) -> usize {
+        let mut dists: Vec<(f64, usize)> =
+            self.train.iter().map(|s| (euclidean(&s.features, features), s.label)).collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let k = self.k.min(dists.len());
+        let neighbours = &dists[..k];
+        let max_label = neighbours.iter().map(|(_, l)| *l).max().expect("nonempty");
+        let mut votes = vec![0usize; max_label + 1];
+        for (_, l) in neighbours {
+            votes[*l] += 1;
+        }
+        let best = *votes.iter().max().expect("nonempty");
+        // Tie break: nearest neighbour whose class has `best` votes.
+        neighbours
+            .iter()
+            .find(|(_, l)| votes[*l] == best)
+            .map(|(_, l)| *l)
+            .expect("nonempty neighbours")
+    }
+
+    /// Accuracy over a labelled test set.
+    pub fn accuracy(&self, test: &[Sample]) -> f64 {
+        if test.is_empty() {
+            return 0.0;
+        }
+        let correct = test.iter().filter(|s| self.predict(&s.features) == s.label).count();
+        correct as f64 / test.len() as f64
+    }
+}
+
+/// Shuffle and split a dataset into `(train, test)` with `train_fraction`
+/// going to the training set.
+///
+/// # Panics
+///
+/// Panics if `train_fraction` is outside `[0, 1]`.
+pub fn train_test_split(
+    mut samples: Vec<Sample>,
+    train_fraction: f64,
+    rng: &mut impl Rng,
+) -> (Vec<Sample>, Vec<Sample>) {
+    assert!((0.0..=1.0).contains(&train_fraction), "fraction out of range");
+    samples.shuffle(rng);
+    let cut = ((samples.len() as f64) * train_fraction).round() as usize;
+    let test = samples.split_off(cut.min(samples.len()));
+    (samples, test)
+}
+
+/// Mean k-fold cross-validation accuracy of a kNN with `k` neighbours.
+///
+/// # Panics
+///
+/// Panics if `folds < 2`.
+pub fn cross_validate(samples: &[Sample], folds: usize, k: usize, rng: &mut impl Rng) -> f64 {
+    assert!(folds >= 2, "need at least two folds");
+    let mut shuffled = samples.to_vec();
+    shuffled.shuffle(rng);
+    let mut total = 0.0;
+    for f in 0..folds {
+        let test: Vec<Sample> = shuffled
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % folds == f)
+            .map(|(_, s)| s.clone())
+            .collect();
+        let train: Vec<Sample> = shuffled
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % folds != f)
+            .map(|(_, s)| s.clone())
+            .collect();
+        if train.is_empty() || test.is_empty() {
+            continue;
+        }
+        total += KnnClassifier::fit(k, train).accuracy(&test);
+    }
+    total / folds as f64
+}
+
+/// Binary-classification outcome counts (label 1 = positive/attack).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BinaryConfusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl BinaryConfusion {
+    /// Evaluate a classifier on a binary test set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a label other than 0/1 appears.
+    pub fn evaluate(model: &KnnClassifier, test: &[Sample]) -> BinaryConfusion {
+        let mut c = BinaryConfusion::default();
+        for s in test {
+            let pred = model.predict(&s.features);
+            match (s.label, pred) {
+                (1, 1) => c.tp += 1,
+                (0, 1) => c.fp += 1,
+                (0, 0) => c.tn += 1,
+                (1, 0) => c.fn_ += 1,
+                _ => panic!("binary evaluation requires labels 0/1"),
+            }
+        }
+        c
+    }
+
+    /// Precision `tp / (tp + fp)`.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    /// Recall `tp / (tp + fn)`.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// False-positive rate `fp / (fp + tn)`.
+    pub fn fpr(&self) -> f64 {
+        if self.fp + self.tn == 0 {
+            return 0.0;
+        }
+        self.fp as f64 / (self.fp + self.tn) as f64
+    }
+
+    /// Accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn clusters(rng: &mut SmallRng, n_per: usize, centers: &[(f64, f64)]) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for (label, (cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                let dx: f64 = rng.gen_range(-0.5..0.5);
+                let dy: f64 = rng.gen_range(-0.5..0.5);
+                out.push(Sample::new(vec![cx + dx, cy + dy], label));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn knn_separates_clusters() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let data = clusters(&mut rng, 30, &[(0.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let (train, test) = train_test_split(data, 0.8, &mut rng);
+        let knn = KnnClassifier::fit(3, train);
+        assert!(knn.accuracy(&test) > 0.95);
+    }
+
+    #[test]
+    fn cross_validation_high_on_separable_data() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let data = clusters(&mut rng, 20, &[(0.0, 0.0), (8.0, 8.0)]);
+        let acc = cross_validate(&data, 5, 3, &mut rng);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn k1_memorizes_training_points() {
+        let train =
+            vec![Sample::new(vec![1.0], 0), Sample::new(vec![2.0], 1), Sample::new(vec![3.0], 0)];
+        let knn = KnnClassifier::fit(1, train.clone());
+        for s in &train {
+            assert_eq!(knn.predict(&s.features), s.label);
+        }
+    }
+
+    #[test]
+    fn binary_metrics_known_values() {
+        let c = BinaryConfusion { tp: 8, fp: 2, tn: 88, fn_: 2 };
+        assert!((c.precision() - 0.8).abs() < 1e-12);
+        assert!((c.recall() - 0.8).abs() < 1e-12);
+        assert!((c.f1() - 0.8).abs() < 1e-12);
+        assert!((c.fpr() - 2.0 / 90.0).abs() < 1e-12);
+        assert!((c.accuracy() - 0.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_metrics_do_not_divide_by_zero() {
+        let c = BinaryConfusion::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.fpr(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn split_respects_fraction() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let data: Vec<Sample> = (0..100).map(|i| Sample::new(vec![i as f64], i % 2)).collect();
+        let (train, test) = train_test_split(data, 0.8, &mut rng);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn distance_requires_same_dims() {
+        euclidean(&[1.0], &[1.0, 2.0]);
+    }
+}

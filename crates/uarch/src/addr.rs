@@ -1,0 +1,113 @@
+//! Virtual addresses and the line/page arithmetic used throughout the
+//! simulator.
+
+use std::fmt;
+
+/// Cache line size in bytes. All modeled microarchitectures use 64-byte
+/// lines, like every x86 part the paper evaluates.
+pub const LINE_SIZE: u64 = 64;
+
+/// Page size in bytes (4 KiB).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A 64-bit virtual address.
+///
+/// The simulator does not model paging beyond the TLB, so virtual addresses
+/// double as physical addresses for cache indexing, exactly as an attacker
+/// sees the virtually-indexed L1 caches.
+///
+/// ```
+/// use smack_uarch::Addr;
+/// let a = Addr(0x1234);
+/// assert_eq!(a.line(), Addr(0x1200));
+/// assert_eq!(a.line_offset(), 0x34);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Address of the cache line containing `self`.
+    pub fn line(self) -> Addr {
+        Addr(self.0 & !(LINE_SIZE - 1))
+    }
+
+    /// Byte offset within the cache line.
+    pub fn line_offset(self) -> u64 {
+        self.0 & (LINE_SIZE - 1)
+    }
+
+    /// Address of the page containing `self`.
+    pub fn page(self) -> Addr {
+        Addr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// Cache set index for a cache with `sets` sets (power of two).
+    pub fn set_index(self, sets: usize) -> usize {
+        ((self.0 / LINE_SIZE) as usize) & (sets - 1)
+    }
+
+    /// The address `bytes` further on.
+    pub fn offset(self, bytes: i64) -> Addr {
+        Addr(self.0.wrapping_add(bytes as u64))
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Addr {
+        Addr(v)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_rounds_down() {
+        assert_eq!(Addr(0).line(), Addr(0));
+        assert_eq!(Addr(63).line(), Addr(0));
+        assert_eq!(Addr(64).line(), Addr(64));
+        assert_eq!(Addr(0xffff).line(), Addr(0xffc0));
+    }
+
+    #[test]
+    fn page_rounds_down() {
+        assert_eq!(Addr(0x1fff).page(), Addr(0x1000));
+        assert_eq!(Addr(0x2000).page(), Addr(0x2000));
+    }
+
+    #[test]
+    fn set_index_uses_line_bits() {
+        // 64 sets -> bits [6, 12) select the set.
+        assert_eq!(Addr(0).set_index(64), 0);
+        assert_eq!(Addr(64).set_index(64), 1);
+        assert_eq!(Addr(64 * 63).set_index(64), 63);
+        assert_eq!(Addr(64 * 64).set_index(64), 0);
+        // Same set, different tag: 4 KiB apart with 64 sets.
+        assert_eq!(Addr(0x1000).set_index(64), Addr(0x2000).set_index(64));
+    }
+
+    #[test]
+    fn offset_wraps() {
+        assert_eq!(Addr(100).offset(-36), Addr(64));
+        assert_eq!(Addr(0).offset(64), Addr(64));
+    }
+}

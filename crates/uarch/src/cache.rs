@@ -1,0 +1,287 @@
+//! A single set-associative cache with true-LRU replacement.
+
+use crate::addr::Addr;
+
+/// Geometry of one cache level (line size is globally 64 bytes).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CacheGeometry {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheGeometry {
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways * crate::LINE_SIZE as usize
+    }
+}
+
+#[derive(Copy, Clone, Debug)]
+struct LineEntry {
+    /// Line-aligned address stored in this way.
+    line: u64,
+    dirty: bool,
+    /// LRU stamp; larger is more recent.
+    stamp: u64,
+}
+
+/// A line evicted to make room for a fill.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Evicted {
+    /// Line-aligned address that was evicted.
+    pub line: Addr,
+    /// Whether the evicted line was dirty.
+    pub dirty: bool,
+}
+
+/// A set-associative, true-LRU cache over 64-byte lines.
+///
+/// ```
+/// use smack_uarch::cache::{Cache, CacheGeometry};
+/// use smack_uarch::Addr;
+///
+/// let mut c = Cache::new(CacheGeometry { sets: 64, ways: 8 });
+/// c.insert(Addr(0x1000), false);
+/// assert!(c.contains(Addr(0x1000)));
+/// assert!(!c.contains(Addr(0x2000)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    geom: CacheGeometry,
+    sets: Vec<Vec<LineEntry>>,
+    clock: u64,
+}
+
+impl Cache {
+    /// Create an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(geom: CacheGeometry) -> Cache {
+        assert!(geom.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(geom.ways > 0, "ways must be nonzero");
+        Cache {
+            geom,
+            sets: (0..geom.sets).map(|_| Vec::with_capacity(geom.ways)).collect(),
+            clock: 0,
+        }
+    }
+
+    /// Geometry of this cache.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn set_of(&self, addr: Addr) -> usize {
+        addr.set_index(self.geom.sets)
+    }
+
+    /// Whether the line containing `addr` is present.
+    pub fn contains(&self, addr: Addr) -> bool {
+        let line = addr.line().0;
+        self.sets[self.set_of(addr)].iter().any(|e| e.line == line)
+    }
+
+    /// Whether the line containing `addr` is present and dirty.
+    pub fn is_dirty(&self, addr: Addr) -> bool {
+        let line = addr.line().0;
+        self.sets[self.set_of(addr)].iter().any(|e| e.line == line && e.dirty)
+    }
+
+    /// Mark the line as most-recently-used. Returns `true` if it was present.
+    pub fn touch(&mut self, addr: Addr) -> bool {
+        let line = addr.line().0;
+        let set = self.set_of(addr);
+        self.clock += 1;
+        let stamp = self.clock;
+        for e in &mut self.sets[set] {
+            if e.line == line {
+                e.stamp = stamp;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Insert (fill) the line containing `addr`, evicting the LRU way if the
+    /// set is full. Touching an already-present line updates LRU and ORs in
+    /// the dirty bit.
+    pub fn insert(&mut self, addr: Addr, dirty: bool) -> Option<Evicted> {
+        let line = addr.line().0;
+        let set = self.set_of(addr);
+        self.clock += 1;
+        let stamp = self.clock;
+        let ways = self.geom.ways;
+        let entries = &mut self.sets[set];
+        for e in entries.iter_mut() {
+            if e.line == line {
+                e.stamp = stamp;
+                e.dirty |= dirty;
+                return None;
+            }
+        }
+        let mut evicted = None;
+        if entries.len() >= ways {
+            let (idx, _) = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .expect("set is full, so nonempty");
+            let victim = entries.swap_remove(idx);
+            evicted = Some(Evicted { line: Addr(victim.line), dirty: victim.dirty });
+        }
+        entries.push(LineEntry { line, dirty, stamp });
+        evicted
+    }
+
+    /// Set the dirty bit on a present line. Returns `true` if present.
+    pub fn mark_dirty(&mut self, addr: Addr) -> bool {
+        let line = addr.line().0;
+        let set = self.set_of(addr);
+        for e in &mut self.sets[set] {
+            if e.line == line {
+                e.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Clear the dirty bit on a present line (write-back). Returns `true`
+    /// if the line was present and dirty.
+    pub fn clean(&mut self, addr: Addr) -> bool {
+        let line = addr.line().0;
+        let set = self.set_of(addr);
+        for e in &mut self.sets[set] {
+            if e.line == line {
+                let was = e.dirty;
+                e.dirty = false;
+                return was;
+            }
+        }
+        false
+    }
+
+    /// Remove the line containing `addr`. Returns the evicted entry if it
+    /// was present.
+    pub fn invalidate(&mut self, addr: Addr) -> Option<Evicted> {
+        let line = addr.line().0;
+        let set = self.set_of(addr);
+        let entries = &mut self.sets[set];
+        if let Some(idx) = entries.iter().position(|e| e.line == line) {
+            let victim = entries.swap_remove(idx);
+            return Some(Evicted { line: Addr(victim.line), dirty: victim.dirty });
+        }
+        None
+    }
+
+    /// Invalidate every line (e.g. `wbinvd`).
+    pub fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Lines currently resident in set `set`, in no particular order.
+    pub fn lines_in_set(&self, set: usize) -> Vec<Addr> {
+        self.sets[set].iter().map(|e| Addr(e.line)).collect()
+    }
+
+    /// Number of valid lines across all sets.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// The least-recently-used line in `set`, if the set is nonempty.
+    pub fn lru_line(&self, set: usize) -> Option<Addr> {
+        self.sets[set].iter().min_by_key(|e| e.stamp).map(|e| Addr(e.line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(CacheGeometry { sets: 4, ways: 2 })
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut c = small();
+        assert!(c.insert(Addr(0), false).is_none());
+        assert!(c.contains(Addr(0)));
+        assert!(c.contains(Addr(63))); // same line
+        assert!(!c.contains(Addr(64))); // next line
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Set 0 lines for a 4-set cache: stride = 4 * 64 = 256 bytes.
+        c.insert(Addr(0), false);
+        c.insert(Addr(256), false);
+        c.touch(Addr(0)); // 256 is now LRU
+        let ev = c.insert(Addr(512), false).expect("eviction");
+        assert_eq!(ev.line, Addr(256));
+        assert!(c.contains(Addr(0)));
+        assert!(c.contains(Addr(512)));
+    }
+
+    #[test]
+    fn dirty_bit_propagates_through_eviction() {
+        let mut c = small();
+        c.insert(Addr(0), true);
+        c.insert(Addr(256), false);
+        let ev = c.insert(Addr(512), false).unwrap();
+        assert_eq!(ev, Evicted { line: Addr(0), dirty: true });
+    }
+
+    #[test]
+    fn reinsert_ors_dirty() {
+        let mut c = small();
+        c.insert(Addr(0), false);
+        c.insert(Addr(0), true);
+        assert!(c.is_dirty(Addr(0)));
+        assert!(c.clean(Addr(0)));
+        assert!(!c.is_dirty(Addr(0)));
+        assert!(c.contains(Addr(0)));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = small();
+        c.insert(Addr(64), true);
+        let ev = c.invalidate(Addr(64)).unwrap();
+        assert!(ev.dirty);
+        assert!(!c.contains(Addr(64)));
+        assert!(c.invalidate(Addr(64)).is_none());
+    }
+
+    #[test]
+    fn occupancy_counts() {
+        let mut c = small();
+        for i in 0..8u64 {
+            c.insert(Addr(i * 64), false);
+        }
+        assert_eq!(c.occupancy(), 8);
+        c.flush_all();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn set_isolation() {
+        let mut c = small();
+        // Fill set 0 beyond capacity; set 1 must be untouched.
+        c.insert(Addr(0), false);
+        c.insert(Addr(256), false);
+        c.insert(Addr(512), false);
+        c.insert(Addr(64), false); // set 1
+        assert!(c.contains(Addr(64)));
+        assert_eq!(c.lines_in_set(1), vec![Addr(64)]);
+        assert_eq!(c.occupancy(), 3);
+    }
+}

@@ -1,0 +1,1035 @@
+//! The SMT execution engine.
+//!
+//! Two hardware threads share one physical core: the L1i/L1d/L2/LLC
+//! hierarchy, the branch predictor, and — crucially — the pipeline that an
+//! SMC machine clear flushes. Each thread owns a local cycle clock;
+//! higher-level code (the [`crate::machine::Machine`] scheduler) always
+//! advances the thread that is behind, so cross-thread interactions happen
+//! in approximately causal order.
+//!
+//! ## Timing model
+//!
+//! Values are computed eagerly (architecturally correct immediately); *time*
+//! is modeled with per-register readiness stamps. A load costs one issue
+//! cycle and marks its destination ready `latency` cycles later; `mfence`
+//! and `rdtsc`-bracketed probe sequences surface those latencies, exactly
+//! like the paper's measurement harness (Listing 2). Conditional branches
+//! whose flags are not ready yet consult the PHT; a wrong prediction
+//! executes the wrong path with buffered stores until the flags arrive,
+//! then rolls back architectural state — but cache and TLB fills survive,
+//! which is the ISpectre transmission channel.
+//!
+//! ## SMC detection
+//!
+//! Store/flush/prefetch-class instructions aimed at a line that is resident
+//! in the L1i (or in either thread's in-flight fetch window) trigger a
+//! *machine clear* when the microarchitecture's [`crate::profile::SmcMatrix`]
+//! says so: both threads' front-ends are flushed, the sibling is stalled for
+//! `sibling_stall` (~235) cycles, the line is invalidated from the L1i, and
+//! the vendor's performance counters are charged per the paper's Figure 2
+//! reverse engineering.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use crate::addr::{Addr, LINE_SIZE};
+use crate::asm::Program;
+use crate::bpu::BranchPredictor;
+use crate::counters::{CounterBank, PerfEvent};
+use crate::hierarchy::{CacheHierarchy, Level};
+use crate::isa::{Cond, Flags, Instr, MemRef, MemSize, Reg};
+use crate::mem::Memory;
+use crate::noise::{NoiseConfig, NoiseSource};
+use crate::profile::{ProbeKind, SmcBehavior, UarchProfile, Vendor};
+use crate::tlb::Tlb;
+use crate::trace::{Event, Tracer};
+
+/// Return-address sentinel marking the boundary of an injected call: when a
+/// `ret` pops this value the thread parks itself back in [`ThreadState::Idle`].
+pub const RETURN_SENTINEL: u64 = 0xffff_ffff_0000_0000;
+
+/// Identifier of one of the two SMT threads of the simulated physical core.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ThreadId {
+    /// Logical processor 0.
+    T0,
+    /// Logical processor 1.
+    T1,
+}
+
+impl ThreadId {
+    /// Index (0 or 1).
+    pub fn index(self) -> usize {
+        match self {
+            ThreadId::T0 => 0,
+            ThreadId::T1 => 1,
+        }
+    }
+
+    /// The other hardware thread on the same core.
+    pub fn sibling(self) -> ThreadId {
+        match self {
+            ThreadId::T0 => ThreadId::T1,
+            ThreadId::T1 => ThreadId::T0,
+        }
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.index())
+    }
+}
+
+/// Execution state of a thread.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum ThreadState {
+    /// Not running a program; accepts injected instructions.
+    #[default]
+    Idle,
+    /// Executing a loaded program.
+    Running,
+    /// Executed `halt` (or returned with an empty call stack).
+    Halted,
+}
+
+/// Errors surfaced while stepping the engine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StepError {
+    /// No instruction is mapped at the program counter.
+    NoInstruction {
+        /// Offending address.
+        pc: u64,
+    },
+    /// The probe instruction does not exist on this microarchitecture
+    /// (an `×` cell in Table 3, e.g. `clwb` before Sky Lake).
+    Unsupported {
+        /// Probe class that is unavailable.
+        kind: ProbeKind,
+    },
+    /// Tried to step a thread that is not running.
+    NotRunning {
+        /// The thread in question.
+        tid: ThreadId,
+    },
+    /// An injected sequence contained a branch (only straight-line code and
+    /// calls may be injected).
+    ControlFlowInjected,
+    /// A run exceeded its instruction budget.
+    StepLimit,
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepError::NoInstruction { pc } => write!(f, "no instruction at {pc:#x}"),
+            StepError::Unsupported { kind } => {
+                write!(f, "`{kind}` is not supported on this microarchitecture")
+            }
+            StepError::NotRunning { tid } => write!(f, "thread {tid} is not running"),
+            StepError::ControlFlowInjected => {
+                write!(f, "injected sequences cannot contain branches")
+            }
+            StepError::StepLimit => write!(f, "instruction budget exhausted"),
+        }
+    }
+}
+
+impl Error for StepError {}
+
+/// Result of running an injected sequence.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct SeqOutcome {
+    /// Cycles the sequence consumed on its thread.
+    pub cycles: u64,
+    /// Thread-local clock when the sequence finished.
+    pub end_clock: u64,
+}
+
+#[derive(Clone, Debug)]
+struct SpecState {
+    ckpt_regs: [u64; Reg::COUNT],
+    ckpt_ready: [u64; Reg::COUNT],
+    ckpt_flags: Flags,
+    ckpt_flags_ready: u64,
+    ckpt_stack_len: usize,
+    correct_pc: u64,
+    resolve_at: u64,
+    budget: u32,
+    wrong_path: u32,
+    branch_pc: u64,
+    buffered_stores: Vec<(Addr, u64, MemSize)>,
+}
+
+#[derive(Clone, Debug)]
+struct Thread {
+    state: ThreadState,
+    regs: [u64; Reg::COUNT],
+    ready: [u64; Reg::COUNT],
+    flags: Flags,
+    flags_ready: u64,
+    pc: u64,
+    clock: u64,
+    stack: Vec<u64>,
+    fetch_window: VecDeque<u64>,
+    last_fetch_line: u64,
+    pending_mem: u64,
+    spec: Option<SpecState>,
+    counters: CounterBank,
+}
+
+impl Thread {
+    fn new() -> Thread {
+        Thread {
+            state: ThreadState::Idle,
+            regs: [0; Reg::COUNT],
+            ready: [0; Reg::COUNT],
+            flags: Flags::default(),
+            flags_ready: 0,
+            pc: 0,
+            clock: 0,
+            stack: Vec::new(),
+            fetch_window: VecDeque::with_capacity(FETCH_WINDOW),
+            last_fetch_line: u64::MAX,
+            pending_mem: 0,
+            spec: None,
+            counters: CounterBank::new(),
+        }
+    }
+}
+
+/// Lines tracked in the in-flight fetch window used for SMC detection.
+const FETCH_WINDOW: usize = 2;
+
+enum Next {
+    Seq,
+    Jump(u64),
+    Stop,
+}
+
+/// Signal returned by injected-instruction execution.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum InjectedNext {
+    /// The instruction completed; continue with the next one.
+    Done,
+    /// The instruction was a call; the caller must run the thread's program
+    /// until it returns to idle.
+    EnterCall {
+        /// Call target address.
+        target: u64,
+    },
+}
+
+/// The two-thread core simulator. Usually driven through
+/// [`crate::machine::Machine`].
+pub struct Engine {
+    profile: UarchProfile,
+    threads: [Thread; 2],
+    code: Program,
+    mem: Memory,
+    hier: CacheHierarchy,
+    itlb: [Tlb; 2],
+    dtlb: [Tlb; 2],
+    bpu: BranchPredictor,
+    noise: NoiseSource,
+    tracer: Tracer,
+}
+
+impl Engine {
+    /// Create an engine for `profile`, with noise seeded by `seed`.
+    pub fn new(profile: UarchProfile, noise: NoiseConfig, seed: u64) -> Engine {
+        let hier = CacheHierarchy::new(profile.hierarchy);
+        let itlb = [Tlb::new(profile.itlb_entries), Tlb::new(profile.itlb_entries)];
+        let dtlb = [Tlb::new(profile.dtlb_entries), Tlb::new(profile.dtlb_entries)];
+        Engine {
+            threads: [Thread::new(), Thread::new()],
+            code: Program::default(),
+            mem: Memory::new(),
+            hier,
+            itlb,
+            dtlb,
+            bpu: BranchPredictor::new(4096),
+            noise: NoiseSource::new(noise, seed),
+            tracer: Tracer::new(),
+            profile,
+        }
+    }
+
+    /// The microarchitecture profile in use.
+    pub fn profile(&self) -> &UarchProfile {
+        &self.profile
+    }
+
+    /// Merge a program's code into the core's address space.
+    pub fn load(&mut self, prog: &Program) {
+        self.code.merge(prog);
+    }
+
+    /// Simulated memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Simulated memory, mutable.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The cache hierarchy (for inspection and experiment setup).
+    pub fn hierarchy(&self) -> &CacheHierarchy {
+        &self.hier
+    }
+
+    /// The cache hierarchy, mutable.
+    pub fn hierarchy_mut(&mut self) -> &mut CacheHierarchy {
+        &mut self.hier
+    }
+
+    /// The event tracer.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// The noise source.
+    pub fn noise_mut(&mut self) -> &mut NoiseSource {
+        &mut self.noise
+    }
+
+    // ---- thread accessors -------------------------------------------------
+
+    fn t(&self, tid: ThreadId) -> &Thread {
+        &self.threads[tid.index()]
+    }
+
+    fn t_mut(&mut self, tid: ThreadId) -> &mut Thread {
+        &mut self.threads[tid.index()]
+    }
+
+    /// Current state of a thread.
+    pub fn state(&self, tid: ThreadId) -> ThreadState {
+        self.t(tid).state
+    }
+
+    /// A thread's local cycle clock.
+    pub fn clock(&self, tid: ThreadId) -> u64 {
+        self.t(tid).clock
+    }
+
+    /// Read a register.
+    pub fn reg(&self, tid: ThreadId, r: Reg) -> u64 {
+        self.t(tid).regs[r.index()]
+    }
+
+    /// Write a register (value becomes ready immediately).
+    pub fn set_reg(&mut self, tid: ThreadId, r: Reg, v: u64) {
+        let clock = self.t(tid).clock;
+        let t = self.t_mut(tid);
+        t.regs[r.index()] = v;
+        t.ready[r.index()] = clock;
+    }
+
+    /// Per-thread performance counters.
+    pub fn counters(&self, tid: ThreadId) -> &CounterBank {
+        &self.t(tid).counters
+    }
+
+    /// Core-wide counter totals (both threads summed).
+    pub fn counters_total(&self) -> CounterBank {
+        let mut total = self.threads[0].counters.clone();
+        total.accumulate(&self.threads[1].counters);
+        total
+    }
+
+    /// Reset both threads' counters.
+    pub fn reset_counters(&mut self) {
+        for t in &mut self.threads {
+            t.counters.reset();
+        }
+    }
+
+    /// Prepare a thread to run a program: set `pc`, clear the call stack,
+    /// mark it running. Arguments go to `R1..`.
+    pub fn start_program(&mut self, tid: ThreadId, entry: u64, args: &[u64]) {
+        assert!(args.len() <= 5, "at most five register arguments");
+        let clock = self.t(tid).clock;
+        let t = self.t_mut(tid);
+        t.pc = entry;
+        t.stack.clear();
+        t.state = ThreadState::Running;
+        t.spec = None;
+        for (i, a) in args.iter().enumerate() {
+            t.regs[Reg::from_index(1 + i).index()] = *a;
+            t.ready[Reg::from_index(1 + i).index()] = clock;
+        }
+    }
+
+    /// Set up an injected call: pushes the return sentinel and starts the
+    /// thread at `target`. When the callee returns, the thread goes idle.
+    pub fn begin_injected_call(&mut self, tid: ThreadId, target: u64) {
+        let t = self.t_mut(tid);
+        t.stack.push(RETURN_SENTINEL);
+        t.pc = target;
+        t.state = ThreadState::Running;
+    }
+
+    /// Install TLB translations for the page containing `addr` on `tid`
+    /// without charging any cycles (experiment setup, Listing 1 style).
+    pub fn warm_tlb(&mut self, tid: ThreadId, addr: Addr) {
+        self.itlb[tid.index()].access(addr);
+        self.dtlb[tid.index()].access(addr);
+    }
+
+    /// Forcibly park a thread in the idle state (e.g. to stop a victim).
+    pub fn park(&mut self, tid: ThreadId) {
+        let t = self.t_mut(tid);
+        t.state = ThreadState::Idle;
+        t.spec = None;
+        t.stack.clear();
+    }
+
+    // ---- execution ---------------------------------------------------------
+
+    /// Execute one program instruction on a running thread.
+    pub fn step(&mut self, tid: ThreadId) -> Result<(), StepError> {
+        if self.t(tid).state != ThreadState::Running {
+            return Err(StepError::NotRunning { tid });
+        }
+        // Resolve speculation whose window has closed.
+        if let Some(spec) = &self.t(tid).spec {
+            if self.t(tid).clock >= spec.resolve_at || spec.budget == 0 {
+                self.squash(tid);
+                return Ok(());
+            }
+        }
+        let pc = self.t(tid).pc;
+        if pc == RETURN_SENTINEL {
+            if self.t(tid).spec.is_some() {
+                self.squash(tid);
+            } else {
+                self.t_mut(tid).state = ThreadState::Idle;
+            }
+            return Ok(());
+        }
+        let instr = match self.code.instr_at(pc) {
+            Some(i) => i.clone(),
+            None => {
+                if self.t(tid).spec.is_some() {
+                    self.squash(tid);
+                    return Ok(());
+                }
+                return Err(StepError::NoInstruction { pc });
+            }
+        };
+        self.fetch(tid, pc);
+        let len = instr.len();
+        let next = self.exec(tid, &instr, false)?;
+        let t = self.t_mut(tid);
+        match next {
+            Next::Seq => t.pc = pc + len,
+            Next::Jump(target) => t.pc = target,
+            Next::Stop => {}
+        }
+        if let Some(spec) = &mut self.t_mut(tid).spec {
+            spec.budget = spec.budget.saturating_sub(1);
+            spec.wrong_path += 1;
+        } else {
+            self.t_mut(tid).counters.add(PerfEvent::InstRetired, 1);
+        }
+        Ok(())
+    }
+
+    /// Execute one injected instruction (attacker-style straight-line code;
+    /// no fetch modeling for the injected code itself).
+    ///
+    /// # Errors
+    ///
+    /// Fails for branch instructions, unsupported probe classes and
+    /// non-idle threads.
+    pub fn exec_injected(&mut self, tid: ThreadId, instr: &Instr) -> Result<InjectedNext, StepError> {
+        if self.t(tid).state == ThreadState::Running {
+            return Err(StepError::NotRunning { tid });
+        }
+        // Injected attacker code executes from elsewhere: the front-end is
+        // no longer streaming whatever program line was fetched last, so a
+        // subsequent call re-checks the L1i like real re-entry would.
+        self.t_mut(tid).last_fetch_line = u64::MAX;
+        match instr {
+            Instr::Jmp { .. } | Instr::Jcc { .. } => Err(StepError::ControlFlowInjected),
+            Instr::Call { target } => Ok(InjectedNext::EnterCall { target: *target }),
+            Instr::CallReg { target } => {
+                let t = self.reg(tid, *target);
+                Ok(InjectedNext::EnterCall { target: t })
+            }
+            _ => {
+                self.t_mut(tid).counters.add(PerfEvent::InstRetired, 1);
+                self.exec(tid, instr, true)?;
+                Ok(InjectedNext::Done)
+            }
+        }
+    }
+
+    fn fetch(&mut self, tid: ThreadId, pc: u64) {
+        let line = Addr(pc).line();
+        if self.t(tid).last_fetch_line == line.0 {
+            return;
+        }
+        let mut cost: u64 = 0;
+        if !self.itlb[tid.index()].access(line) {
+            cost += self.profile.tlb_walk as u64;
+            self.t_mut(tid).counters.add(PerfEvent::ItlbMisses, 1);
+        }
+        let info = self.hier.fetch(line);
+        match info.level {
+            Level::L1i => {}
+            Level::L1d | Level::L2 => {
+                self.t_mut(tid).counters.add(PerfEvent::L1iMisses, 1);
+            }
+            Level::Llc => {
+                let c = &mut self.t_mut(tid).counters;
+                c.add(PerfEvent::L1iMisses, 1);
+                c.add(PerfEvent::L2Misses, 1);
+                c.add(PerfEvent::LlcReferences, 1);
+            }
+            Level::Dram => {
+                let c = &mut self.t_mut(tid).counters;
+                c.add(PerfEvent::L1iMisses, 1);
+                c.add(PerfEvent::L2Misses, 1);
+                c.add(PerfEvent::LlcReferences, 1);
+                c.add(PerfEvent::LlcMisses, 1);
+            }
+        }
+        let extra = self.hier.ifetch_extra(info.level) as u64;
+        cost += extra;
+        if self.hier.config().next_line_prefetch {
+            self.hier.prefetch_ifetch(Addr(line.0 + LINE_SIZE));
+        }
+        let t = self.t_mut(tid);
+        t.clock += cost;
+        if extra > 0 {
+            t.counters.add(PerfEvent::CycleActivityStallsTotal, extra);
+        }
+        t.last_fetch_line = line.0;
+        if t.fetch_window.len() >= FETCH_WINDOW {
+            t.fetch_window.pop_front();
+        }
+        t.fetch_window.push_back(line.0);
+    }
+
+    fn mem_addr(&self, tid: ThreadId, m: MemRef) -> Addr {
+        Addr(self.reg(tid, m.base).wrapping_add(m.disp as u64))
+    }
+
+    fn dtlb_cost(&mut self, tid: ThreadId, addr: Addr) -> u64 {
+        if self.dtlb[tid.index()].access(addr) {
+            0
+        } else {
+            self.t_mut(tid).counters.add(PerfEvent::DtlbMisses, 1);
+            self.profile.tlb_walk as u64
+        }
+    }
+
+    fn count_data_level(&mut self, tid: ThreadId, level: Level) {
+        match level {
+            Level::L1i | Level::L1d | Level::L2 => {}
+            Level::Llc => {
+                let c = &mut self.t_mut(tid).counters;
+                c.add(PerfEvent::L2Misses, 1);
+                c.add(PerfEvent::LlcReferences, 1);
+            }
+            Level::Dram => {
+                let c = &mut self.t_mut(tid).counters;
+                c.add(PerfEvent::L2Misses, 1);
+                c.add(PerfEvent::LlcReferences, 1);
+                c.add(PerfEvent::LlcMisses, 1);
+            }
+        }
+    }
+
+    /// Does a write/flush/prefetch-class access to `line` conflict with the
+    /// front-end? True when the line is in L1i or in either thread's
+    /// in-flight fetch window.
+    fn smc_conflict(&self, line: Addr) -> bool {
+        if self.hier.residency(line).l1i {
+            return true;
+        }
+        self.threads.iter().any(|t| t.fetch_window.contains(&line.0))
+    }
+
+    /// Probe-class bookkeeping shared by stores, flushes, prefetches and
+    /// clwb. Returns `(smc_fired, cost_cycles)`.
+    fn probe_effects(
+        &mut self,
+        tid: ThreadId,
+        kind: ProbeKind,
+        line: Addr,
+        level: Level,
+    ) -> Result<(bool, u64), StepError> {
+        let behavior = self.profile.smc.get(kind);
+        if behavior == SmcBehavior::Unsupported {
+            return Err(StepError::Unsupported { kind });
+        }
+        let costs = self.profile.probe_costs.get(kind);
+        let fires = behavior == SmcBehavior::Triggers && self.smc_conflict(line);
+        let cost = if fires {
+            (costs.base + costs.smc_extra) as u64
+        } else {
+            (costs.base + costs.level_extra(level)) as u64
+        };
+        if fires {
+            self.machine_clear(tid, kind, line);
+        }
+        Ok((fires, cost))
+    }
+
+    /// Apply the architectural and counter effects of an SMC machine clear.
+    fn machine_clear(&mut self, tid: ThreadId, kind: ProbeKind, line: Addr) {
+        let clear = self.profile.clear;
+        let smc_inc = self.profile.smc_count_increment(kind);
+        let vendor = self.profile.vendor;
+        let at = self.t(tid).clock;
+        {
+            let c = &mut self.t_mut(tid).counters;
+            c.add(PerfEvent::CycleActivityStallsTotal, clear.stalls_total[kind.index()] as u64);
+            match vendor {
+                Vendor::Intel => {
+                    c.add(PerfEvent::MachineClearsCount, 1);
+                    c.add(PerfEvent::MachineClearsSmc, smc_inc);
+                    c.add(PerfEvent::FrontendIdq4Bubbles, clear.frontend_bubbles as u64);
+                    c.add(PerfEvent::IntMiscClearResteerCycles, clear.resteer as u64);
+                    c.add(
+                        PerfEvent::PartialRatStallsScoreboard,
+                        clear.scoreboard[kind.index()] as u64,
+                    );
+                }
+                Vendor::Amd => {
+                    c.add(PerfEvent::AmdPipeStallBackPressure, clear.amd_back_pressure as u64);
+                    if kind.writes_target() {
+                        c.add(PerfEvent::AmdIcLinesInvalidated, 1);
+                        c.add(PerfEvent::AmdL2FillBusy, clear.amd_l2_fill_busy as u64);
+                    }
+                }
+            }
+        }
+        // The modified line leaves the instruction cache.
+        self.hier.invalidate_l1i(line);
+        // Pipeline flush: both threads refetch, and the sibling stalls.
+        for t in &mut self.threads {
+            t.fetch_window.clear();
+            t.last_fetch_line = u64::MAX;
+        }
+        let sib = tid.sibling();
+        if self.t(sib).spec.is_some() {
+            self.squash_silent(sib);
+        }
+        self.t_mut(sib).clock += clear.sibling_stall as u64;
+        self.t_mut(sib)
+            .counters
+            .add(PerfEvent::CycleActivityStallsTotal, clear.sibling_stall as u64);
+        self.tracer.record(Event::MachineClear { tid, kind, line, at });
+    }
+
+    /// Roll back mispredicted speculation, with the misprediction penalty.
+    fn squash(&mut self, tid: ThreadId) {
+        let clock = self.t(tid).clock;
+        let penalty = self.profile.spec.mispredict_penalty as u64;
+        let t = self.t_mut(tid);
+        let spec = t.spec.take().expect("squash requires active speculation");
+        t.regs = spec.ckpt_regs;
+        t.ready = spec.ckpt_ready;
+        t.flags = spec.ckpt_flags;
+        t.flags_ready = spec.ckpt_flags_ready;
+        t.stack.truncate(spec.ckpt_stack_len);
+        t.pc = spec.correct_pc;
+        t.clock = clock.max(spec.resolve_at) + penalty;
+        t.last_fetch_line = u64::MAX;
+        t.fetch_window.clear();
+        let at = t.clock;
+        self.tracer.record(Event::BranchSquash {
+            tid,
+            pc: spec.branch_pc,
+            wrong_path_instrs: spec.wrong_path,
+            at,
+        });
+    }
+
+    /// Roll back speculation without charging the misprediction penalty
+    /// (used when a sibling machine clear flushes the pipeline).
+    fn squash_silent(&mut self, tid: ThreadId) {
+        let t = self.t_mut(tid);
+        if let Some(spec) = t.spec.take() {
+            t.regs = spec.ckpt_regs;
+            t.ready = spec.ckpt_ready;
+            t.flags = spec.ckpt_flags;
+            t.flags_ready = spec.ckpt_flags_ready;
+            t.stack.truncate(spec.ckpt_stack_len);
+            t.pc = spec.correct_pc;
+            t.fetch_window.clear();
+            t.last_fetch_line = u64::MAX;
+        }
+    }
+
+    fn read_mem_value(&self, addr: Addr, size: MemSize) -> u64 {
+        match size {
+            MemSize::Byte => self.mem.read_u8(addr) as u64,
+            MemSize::Quad => self.mem.read_u64(addr),
+        }
+    }
+
+    fn write_mem_value(&mut self, addr: Addr, val: u64, size: MemSize) {
+        match size {
+            MemSize::Byte => self.mem.write_u8(addr, val as u8),
+            MemSize::Quad => self.mem.write_u64(addr, val),
+        }
+    }
+
+    /// Execute one instruction's semantics and timing on thread `tid`.
+    #[allow(clippy::too_many_lines)]
+    fn exec(&mut self, tid: ThreadId, instr: &Instr, injected: bool) -> Result<Next, StepError> {
+        let mut cost: u64 = 1;
+        let mut next = Next::Seq;
+        let clock0 = self.t(tid).clock;
+        let in_spec = self.t(tid).spec.is_some();
+        match instr {
+            Instr::Nop => {}
+            Instr::Halt => {
+                if in_spec {
+                    // Wrong-path halt: close the window; the squash happens
+                    // on the next step.
+                    if let Some(s) = &mut self.t_mut(tid).spec {
+                        s.budget = 0;
+                    }
+                } else {
+                    let t = self.t_mut(tid);
+                    t.state = ThreadState::Halted;
+                    let at = t.clock;
+                    self.tracer.record(Event::Halted { tid, at });
+                    next = Next::Stop;
+                }
+            }
+            Instr::MovImm { dst, imm } => {
+                let t = self.t_mut(tid);
+                t.regs[dst.index()] = *imm;
+                t.ready[dst.index()] = clock0 + 1;
+            }
+            Instr::Mov { dst, src } => {
+                let t = self.t_mut(tid);
+                t.regs[dst.index()] = t.regs[src.index()];
+                t.ready[dst.index()] = (clock0 + 1).max(t.ready[src.index()]);
+            }
+            Instr::Load { dst, mem, size } => {
+                let addr = self.mem_addr(tid, *mem);
+                cost += self.dtlb_cost(tid, addr);
+                let info = self.hier.read(addr.line());
+                self.count_data_level(tid, info.level);
+                let val = self.read_mem_value(addr, *size);
+                let t = self.t_mut(tid);
+                t.regs[dst.index()] = val;
+                let done = (clock0 + cost).max(t.ready[mem.base.index()]) + info.latency as u64;
+                t.ready[dst.index()] = done;
+                t.pending_mem = t.pending_mem.max(done);
+            }
+            Instr::Store { .. } | Instr::StoreImm { .. } => {
+                let (mem, val, size) = match instr {
+                    Instr::Store { src, mem, size } => (*mem, self.reg(tid, *src), *size),
+                    Instr::StoreImm { mem, imm } => (*mem, *imm as u64, MemSize::Byte),
+                    _ => unreachable!(),
+                };
+                let addr = self.mem_addr(tid, mem);
+                if in_spec {
+                    // Stores do not issue to the memory system speculatively.
+                    if let Some(s) = &mut self.t_mut(tid).spec {
+                        s.buffered_stores.push((addr, val, size));
+                    }
+                } else {
+                    cost += self.dtlb_cost(tid, addr);
+                    let level = self.hier.residency(addr.line()).data_level();
+                    let (_fired, c) = self.probe_effects(tid, ProbeKind::Store, addr.line(), level)?;
+                    self.count_data_level(tid, level);
+                    self.hier.write(addr.line());
+                    self.write_mem_value(addr, val, size);
+                    cost += c;
+                }
+            }
+            Instr::LockInc { mem } => {
+                let addr = self.mem_addr(tid, *mem);
+                if in_spec {
+                    let val = (self.mem.read_u8(addr) as u64).wrapping_add(1);
+                    if let Some(s) = &mut self.t_mut(tid).spec {
+                        s.buffered_stores.push((addr, val, MemSize::Byte));
+                    }
+                } else {
+                    // Atomic RMW: serializes outstanding memory operations.
+                    let t = self.t_mut(tid);
+                    let wait = t.pending_mem.saturating_sub(t.clock);
+                    cost += wait;
+                    cost += self.dtlb_cost(tid, addr);
+                    let level = self.hier.residency(addr.line()).data_level();
+                    let (_fired, c) = self.probe_effects(tid, ProbeKind::Lock, addr.line(), level)?;
+                    self.count_data_level(tid, level);
+                    self.hier.write(addr.line());
+                    let val = self.mem.read_u8(addr).wrapping_add(1);
+                    self.mem.write_u8(addr, val);
+                    cost += c;
+                }
+            }
+            Instr::Add { dst, src } => {
+                let t = self.t_mut(tid);
+                let v = t.regs[dst.index()].wrapping_add(t.regs[src.index()]);
+                t.regs[dst.index()] = v;
+                t.ready[dst.index()] =
+                    (clock0 + 1).max(t.ready[dst.index()]).max(t.ready[src.index()]);
+            }
+            Instr::AddImm { dst, imm } => {
+                let t = self.t_mut(tid);
+                let v = t.regs[dst.index()].wrapping_add(*imm as u64);
+                t.regs[dst.index()] = v;
+                t.ready[dst.index()] = (clock0 + 1).max(t.ready[dst.index()]);
+            }
+            Instr::Sub { dst, src } => {
+                let t = self.t_mut(tid);
+                let v = t.regs[dst.index()].wrapping_sub(t.regs[src.index()]);
+                t.regs[dst.index()] = v;
+                t.ready[dst.index()] =
+                    (clock0 + 1).max(t.ready[dst.index()]).max(t.ready[src.index()]);
+            }
+            Instr::Mul { dst, src } => {
+                cost += 2;
+                let t = self.t_mut(tid);
+                let v = t.regs[dst.index()].wrapping_mul(t.regs[src.index()]);
+                t.regs[dst.index()] = v;
+                t.ready[dst.index()] =
+                    (clock0 + 3).max(t.ready[dst.index()]).max(t.ready[src.index()]);
+            }
+            Instr::And { dst, src } | Instr::Or { dst, src } | Instr::Xor { dst, src } => {
+                let t = self.t_mut(tid);
+                let a = t.regs[dst.index()];
+                let b = t.regs[src.index()];
+                let v = match instr {
+                    Instr::And { .. } => a & b,
+                    Instr::Or { .. } => a | b,
+                    _ => a ^ b,
+                };
+                t.regs[dst.index()] = v;
+                t.ready[dst.index()] =
+                    (clock0 + 1).max(t.ready[dst.index()]).max(t.ready[src.index()]);
+            }
+            Instr::ShlImm { dst, amount } => {
+                let t = self.t_mut(tid);
+                t.regs[dst.index()] = t.regs[dst.index()].wrapping_shl(*amount as u32);
+                t.ready[dst.index()] = (clock0 + 1).max(t.ready[dst.index()]);
+            }
+            Instr::ShrImm { dst, amount } => {
+                let t = self.t_mut(tid);
+                t.regs[dst.index()] = t.regs[dst.index()].wrapping_shr(*amount as u32);
+                t.ready[dst.index()] = (clock0 + 1).max(t.ready[dst.index()]);
+            }
+            Instr::Cmp { a, b } => {
+                let t = self.t_mut(tid);
+                let fa = t.regs[a.index()];
+                let fb = t.regs[b.index()];
+                t.flags = Flags::compare(fa, fb);
+                t.flags_ready = (clock0 + 1).max(t.ready[a.index()]).max(t.ready[b.index()]);
+            }
+            Instr::CmpImm { a, imm } => {
+                let t = self.t_mut(tid);
+                let fa = t.regs[a.index()];
+                t.flags = Flags::compare(fa, *imm);
+                t.flags_ready = (clock0 + 1).max(t.ready[a.index()]);
+            }
+            Instr::Jmp { target } => {
+                if injected {
+                    return Err(StepError::ControlFlowInjected);
+                }
+                next = Next::Jump(*target);
+            }
+            Instr::Jcc { cond, target } => {
+                if injected {
+                    return Err(StepError::ControlFlowInjected);
+                }
+                next = self.exec_jcc(tid, *cond, *target)?;
+            }
+            Instr::Call { target } => {
+                cost += 1;
+                let ret = self.t(tid).pc + instr.len();
+                self.t_mut(tid).stack.push(ret);
+                next = Next::Jump(*target);
+            }
+            Instr::CallReg { target } => {
+                cost += 1;
+                let dest = self.reg(tid, *target);
+                let wait = self.t(tid).ready[target.index()].saturating_sub(clock0);
+                cost += wait;
+                let ret = self.t(tid).pc + instr.len();
+                self.t_mut(tid).stack.push(ret);
+                next = Next::Jump(dest);
+            }
+            Instr::Ret => {
+                cost += 1;
+                match self.t_mut(tid).stack.pop() {
+                    Some(RETURN_SENTINEL) => {
+                        if in_spec {
+                            if let Some(s) = &mut self.t_mut(tid).spec {
+                                s.budget = 0;
+                            }
+                        } else {
+                            self.t_mut(tid).state = ThreadState::Idle;
+                            next = Next::Stop;
+                        }
+                    }
+                    Some(ret) => next = Next::Jump(ret),
+                    None => {
+                        if in_spec {
+                            if let Some(s) = &mut self.t_mut(tid).spec {
+                                s.budget = 0;
+                            }
+                        } else {
+                            // Returning with an empty stack ends the program.
+                            self.t_mut(tid).state = ThreadState::Halted;
+                            let at = self.t(tid).clock;
+                            self.tracer.record(Event::Halted { tid, at });
+                            next = Next::Stop;
+                        }
+                    }
+                }
+            }
+            Instr::Rdtsc { dst } => {
+                cost = self.profile.rdtsc_cost as u64;
+                let jitter = self.noise.jitter();
+                let raw = (clock0 + cost).saturating_add_signed(jitter);
+                let res = self.profile.tsc_resolution as u64;
+                let val = (raw / res) * res;
+                let t = self.t_mut(tid);
+                t.regs[dst.index()] = val;
+                t.ready[dst.index()] = clock0 + cost;
+            }
+            Instr::Mfence => {
+                let t = self.t_mut(tid);
+                let wait = t.pending_mem.saturating_sub(t.clock);
+                cost = wait + self.profile.mfence_cost as u64;
+                if wait > 0 {
+                    self.t_mut(tid).counters.add(PerfEvent::CycleActivityStallsTotal, wait);
+                }
+            }
+            Instr::Lfence => {
+                let t = self.t_mut(tid);
+                let wait = t.pending_mem.saturating_sub(t.clock);
+                cost = wait + 2;
+            }
+            Instr::Clflush { mem } | Instr::Clflushopt { mem } => {
+                let kind = if matches!(instr, Instr::Clflush { .. }) {
+                    ProbeKind::Flush
+                } else {
+                    ProbeKind::FlushOpt
+                };
+                if in_spec {
+                    // Flushes are not executed speculatively.
+                } else {
+                    let addr = self.mem_addr(tid, *mem);
+                    cost += self.dtlb_cost(tid, addr);
+                    let level = self.hier.residency(addr.line()).data_level();
+                    let (_fired, c) = self.probe_effects(tid, kind, addr.line(), level)?;
+                    self.hier.flush(addr.line());
+                    cost += c;
+                }
+            }
+            Instr::Clwb { mem } => {
+                if !in_spec {
+                    let addr = self.mem_addr(tid, *mem);
+                    cost += self.dtlb_cost(tid, addr);
+                    let level = self.hier.residency(addr.line()).data_level();
+                    let (_fired, c) =
+                        self.probe_effects(tid, ProbeKind::Clwb, addr.line(), level)?;
+                    self.hier.writeback(addr.line());
+                    cost += c;
+                }
+            }
+            Instr::PrefetchT0 { mem } | Instr::PrefetchNta { mem } => {
+                let kind = if matches!(instr, Instr::PrefetchT0 { .. }) {
+                    ProbeKind::Prefetch
+                } else {
+                    ProbeKind::PrefetchNta
+                };
+                if !in_spec {
+                    let addr = self.mem_addr(tid, *mem);
+                    cost += self.dtlb_cost(tid, addr);
+                    let level = self.hier.residency(addr.line()).data_level();
+                    let (fired, c) = self.probe_effects(tid, kind, addr.line(), level)?;
+                    if !fired {
+                        self.hier.prefetch(addr.line());
+                    }
+                    cost += c;
+                }
+            }
+            Instr::Delay { cycles } => {
+                cost = *cycles as u64;
+            }
+        }
+        self.t_mut(tid).clock += cost;
+        let delta = self.t(tid).clock - clock0;
+        let evictions = self.noise.evictions_for(delta);
+        for _ in 0..evictions {
+            let set = self.noise.random_set(self.profile.hierarchy.l1i.sets);
+            self.hier.evict_lru_l1i(set);
+        }
+        Ok(next)
+    }
+
+    fn exec_jcc(&mut self, tid: ThreadId, cond: Cond, target: u64) -> Result<Next, StepError> {
+        let pc = self.t(tid).pc;
+        let fallthrough = pc + Instr::Jcc { cond, target }.len();
+        let t = self.t(tid);
+        let actual = t.flags.eval(cond);
+        let resolved = t.flags_ready <= t.clock;
+        let in_spec = t.spec.is_some();
+        self.t_mut(tid).counters.add(PerfEvent::BrInstRetired, 1);
+        let correct = if actual { target } else { fallthrough };
+        if in_spec {
+            // No nested speculation: wrong-path branches resolve eagerly.
+            return Ok(Next::Jump(correct));
+        }
+        let predicted = self.bpu.predict(pc);
+        self.bpu.update(pc, actual);
+        if resolved {
+            if predicted != actual {
+                self.t_mut(tid).counters.add(PerfEvent::BrMispRetired, 1);
+                let penalty = self.profile.spec.mispredict_penalty as u64;
+                self.t_mut(tid).clock += penalty;
+            }
+            return Ok(Next::Jump(correct));
+        }
+        if predicted == actual {
+            // Correct speculation: proceeds without a bubble.
+            return Ok(Next::Jump(correct));
+        }
+        // Wrong-path speculation begins.
+        self.t_mut(tid).counters.add(PerfEvent::BrMispRetired, 1);
+        let wrong = if predicted { target } else { fallthrough };
+        let window = self.profile.spec.window_instrs;
+        let t = self.t_mut(tid);
+        t.spec = Some(SpecState {
+            ckpt_regs: t.regs,
+            ckpt_ready: t.ready,
+            ckpt_flags: t.flags,
+            ckpt_flags_ready: t.flags_ready,
+            ckpt_stack_len: t.stack.len(),
+            correct_pc: correct,
+            resolve_at: t.flags_ready,
+            budget: window,
+            wrong_path: 0,
+            branch_pc: pc,
+            buffered_stores: Vec::new(),
+        });
+        Ok(Next::Jump(wrong))
+    }
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("arch", &self.profile.arch)
+            .field("t0_clock", &self.threads[0].clock)
+            .field("t1_clock", &self.threads[1].clock)
+            .finish()
+    }
+}

@@ -1,0 +1,467 @@
+//! The four-level cache hierarchy: split L1 (instruction + data), unified
+//! L2, and an inclusive last-level cache.
+//!
+//! Key modeling choices (see DESIGN.md §3):
+//!
+//! * **Inclusive LLC** — evicting an LLC line back-invalidates it from L1i,
+//!   L1d and L2, which is what lets cross-core eviction matter. L2 is
+//!   non-inclusive of L1.
+//! * **Instruction fetches hide most of the L2 latency** behind the
+//!   next-line prefetcher, so an L1i miss that hits L2 costs only a couple
+//!   of cycles more than an L1i hit. This reproduces the paper's
+//!   observation that Mastik's execute-probe sees a 1–2 cycle L1i/L2 gap
+//!   (§4.1), which is why classic L1i Prime+Probe is noisy.
+//! * **Stores invalidate L1i copies** (an instruction cache never holds a
+//!   modified line), which is the hook the SMC detection unit observes.
+
+use crate::addr::Addr;
+use crate::cache::{Cache, CacheGeometry, Evicted};
+
+/// The hierarchy level where an access hit.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Level {
+    /// L1 instruction cache.
+    L1i,
+    /// L1 data cache.
+    L1d,
+    /// Unified second-level cache.
+    L2,
+    /// Last-level cache.
+    Llc,
+    /// Main memory.
+    Dram,
+}
+
+/// Which caches currently hold a given line.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct Residency {
+    /// Present in the L1 instruction cache.
+    pub l1i: bool,
+    /// Present in the L1 data cache.
+    pub l1d: bool,
+    /// Present in L2.
+    pub l2: bool,
+    /// Present in the LLC.
+    pub llc: bool,
+}
+
+impl Residency {
+    /// Level a *data-side* access would hit.
+    pub fn data_level(&self) -> Level {
+        if self.l1d {
+            Level::L1d
+        } else if self.l2 {
+            Level::L2
+        } else if self.llc {
+            Level::Llc
+        } else {
+            Level::Dram
+        }
+    }
+
+    /// Level an *instruction fetch* would hit.
+    pub fn fetch_level(&self) -> Level {
+        if self.l1i {
+            Level::L1i
+        } else if self.l2 {
+            Level::L2
+        } else if self.llc {
+            Level::Llc
+        } else {
+            Level::Dram
+        }
+    }
+
+    /// Present in any cache level.
+    pub fn cached_anywhere(&self) -> bool {
+        self.l1i || self.l1d || self.l2 || self.llc
+    }
+}
+
+/// Static configuration of the hierarchy.
+#[derive(Copy, Clone, Debug)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheGeometry,
+    /// L1 data cache geometry.
+    pub l1d: CacheGeometry,
+    /// L2 geometry.
+    pub l2: CacheGeometry,
+    /// LLC geometry.
+    pub llc: CacheGeometry,
+    /// Data-load latency on an L1d hit.
+    pub lat_l1d: u32,
+    /// Data latency on an L2 hit.
+    pub lat_l2: u32,
+    /// Data latency on an LLC hit.
+    pub lat_llc: u32,
+    /// Data latency for DRAM.
+    pub lat_dram: u32,
+    /// Extra instruction-fetch cycles when the fetch hits L2
+    /// (mostly hidden by the next-line prefetcher).
+    pub ifetch_extra_l2: u32,
+    /// Extra instruction-fetch cycles when the fetch hits the LLC.
+    pub ifetch_extra_llc: u32,
+    /// Extra instruction-fetch cycles when the fetch goes to DRAM.
+    pub ifetch_extra_dram: u32,
+    /// Whether the front-end next-line prefetcher is enabled.
+    pub next_line_prefetch: bool,
+}
+
+impl HierarchyConfig {
+    /// A 32 KiB / 8-way split L1, 1 MiB L2, 16 MiB LLC Intel-like hierarchy.
+    pub fn intel_like() -> HierarchyConfig {
+        HierarchyConfig {
+            l1i: CacheGeometry { sets: 64, ways: 8 },
+            l1d: CacheGeometry { sets: 64, ways: 8 },
+            l2: CacheGeometry { sets: 1024, ways: 16 },
+            llc: CacheGeometry { sets: 8192, ways: 16 },
+            lat_l1d: 4,
+            lat_l2: 14,
+            lat_llc: 50,
+            lat_dram: 250,
+            ifetch_extra_l2: 2,
+            ifetch_extra_llc: 25,
+            ifetch_extra_dram: 220,
+            next_line_prefetch: true,
+        }
+    }
+}
+
+/// Outcome of a data read/write or prefetch.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct AccessInfo {
+    /// Level the access hit (before filling).
+    pub level: Level,
+    /// Data-side latency in cycles for that level.
+    pub latency: u32,
+    /// Whether the line was resident in L1i before the access.
+    pub was_in_l1i: bool,
+}
+
+/// Outcome of a `clflush`-style invalidation.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct FlushInfo {
+    /// Whether the line was cached anywhere before the flush.
+    pub was_cached: bool,
+    /// Whether the line was in L1i before the flush.
+    pub was_in_l1i: bool,
+    /// Whether a dirty copy had to be written back.
+    pub wrote_back: bool,
+}
+
+/// The split-L1 / L2 / inclusive-LLC hierarchy.
+#[derive(Clone, Debug)]
+pub struct CacheHierarchy {
+    cfg: HierarchyConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    llc: Cache,
+}
+
+impl CacheHierarchy {
+    /// Create an empty hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> CacheHierarchy {
+        CacheHierarchy {
+            cfg,
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            llc: Cache::new(cfg.llc),
+        }
+    }
+
+    /// Configuration this hierarchy was built with.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Where is this line cached right now? (Non-mutating.)
+    pub fn residency(&self, addr: Addr) -> Residency {
+        Residency {
+            l1i: self.l1i.contains(addr),
+            l1d: self.l1d.contains(addr),
+            l2: self.l2.contains(addr),
+            llc: self.llc.contains(addr),
+        }
+    }
+
+    /// Data latency for a hierarchy level.
+    pub fn latency_of(&self, level: Level) -> u32 {
+        match level {
+            Level::L1i | Level::L1d => self.cfg.lat_l1d,
+            Level::L2 => self.cfg.lat_l2,
+            Level::Llc => self.cfg.lat_llc,
+            Level::Dram => self.cfg.lat_dram,
+        }
+    }
+
+    /// Extra instruction-fetch cycles for a miss serviced at `level`.
+    pub fn ifetch_extra(&self, level: Level) -> u32 {
+        match level {
+            Level::L1i => 0,
+            Level::L1d | Level::L2 => self.cfg.ifetch_extra_l2,
+            Level::Llc => self.cfg.ifetch_extra_llc,
+            Level::Dram => self.cfg.ifetch_extra_dram,
+        }
+    }
+
+    fn back_invalidate(&mut self, ev: Option<Evicted>) {
+        // Inclusive LLC: anything leaving the LLC leaves the core entirely.
+        if let Some(ev) = ev {
+            self.l1i.invalidate(ev.line);
+            self.l1d.invalidate(ev.line);
+            self.l2.invalidate(ev.line);
+        }
+    }
+
+    fn fill_shared(&mut self, addr: Addr) {
+        let ev = self.llc.insert(addr, false);
+        self.back_invalidate(ev);
+        self.l2.insert(addr, false);
+    }
+
+    /// Instruction fetch of the line containing `addr`; fills L1i/L2/LLC.
+    /// Returns the pre-fill hit level.
+    pub fn fetch(&mut self, addr: Addr) -> AccessInfo {
+        let res = self.residency(addr);
+        let level = res.fetch_level();
+        if res.l1i {
+            self.l1i.touch(addr);
+        } else {
+            self.fill_shared(addr);
+            self.l1i.insert(addr, false);
+        }
+        if res.l2 {
+            self.l2.touch(addr);
+        }
+        if res.llc {
+            self.llc.touch(addr);
+        }
+        AccessInfo { level, latency: self.ifetch_extra(level), was_in_l1i: res.l1i }
+    }
+
+    /// Data read of the line containing `addr`; fills L1d/L2/LLC.
+    pub fn read(&mut self, addr: Addr) -> AccessInfo {
+        let res = self.residency(addr);
+        let level = res.data_level();
+        if res.l1d {
+            self.l1d.touch(addr);
+        } else {
+            self.fill_shared(addr);
+            self.l1d.insert(addr, false);
+        }
+        AccessInfo { level, latency: self.latency_of(level), was_in_l1i: res.l1i }
+    }
+
+    /// Data write (read-for-ownership) of the line containing `addr`.
+    ///
+    /// Invalidates any L1i copy — an instruction cache never holds a
+    /// modified line — and marks the L1d copy dirty.
+    pub fn write(&mut self, addr: Addr) -> AccessInfo {
+        let res = self.residency(addr);
+        let level = res.data_level();
+        if res.l1i {
+            self.l1i.invalidate(addr);
+        }
+        if res.l1d {
+            self.l1d.touch(addr);
+            self.l1d.mark_dirty(addr);
+        } else {
+            self.fill_shared(addr);
+            self.l1d.insert(addr, true);
+        }
+        AccessInfo { level, latency: self.latency_of(level), was_in_l1i: res.l1i }
+    }
+
+    /// `clflush`/`clflushopt`: invalidate the line from every level.
+    pub fn flush(&mut self, addr: Addr) -> FlushInfo {
+        let res = self.residency(addr);
+        let mut wrote_back = false;
+        for c in [&mut self.l1i, &mut self.l1d, &mut self.l2, &mut self.llc] {
+            if let Some(ev) = c.invalidate(addr) {
+                wrote_back |= ev.dirty;
+            }
+        }
+        FlushInfo { was_cached: res.cached_anywhere(), was_in_l1i: res.l1i, wrote_back }
+    }
+
+    /// `clwb`: write back any dirty copy but keep the line valid.
+    pub fn writeback(&mut self, addr: Addr) -> FlushInfo {
+        let res = self.residency(addr);
+        let mut wrote_back = false;
+        for c in [&mut self.l1i, &mut self.l1d, &mut self.l2, &mut self.llc] {
+            wrote_back |= c.clean(addr);
+        }
+        FlushInfo { was_cached: res.cached_anywhere(), was_in_l1i: res.l1i, wrote_back }
+    }
+
+    /// `prefetcht0`/`prefetchnta`: fill the data path.
+    pub fn prefetch(&mut self, addr: Addr) -> AccessInfo {
+        // Model both prefetch flavours as an L1d fill; `nta` differences are
+        // captured in the probe cost tables, not the state machine.
+        self.read(addr)
+    }
+
+    /// Silent instruction-side fill used by the next-line prefetcher.
+    ///
+    /// Streaming prefetches land in L2/LLC, not in the L1i itself; what
+    /// hides the L2 ifetch latency is the front-end pipelining (the small
+    /// `ifetch_extra_l2`), not an L1i fill. Keeping prefetches out of the
+    /// L1i matters for SMC probing: only genuinely fetched lines conflict.
+    pub fn prefetch_ifetch(&mut self, addr: Addr) {
+        let res = self.residency(addr);
+        if !res.l2 && !res.llc {
+            self.fill_shared(addr);
+        }
+    }
+
+    /// Invalidate a line from L1i only (SMC machine clear side effect).
+    /// Returns `true` if it was present.
+    pub fn invalidate_l1i(&mut self, addr: Addr) -> bool {
+        self.l1i.invalidate(addr).is_some()
+    }
+
+    /// Evict the least-recently-used line of L1i set `set` (noise
+    /// injection). Returns the evicted line, if the set was nonempty.
+    pub fn evict_lru_l1i(&mut self, set: usize) -> Option<Addr> {
+        let line = self.l1i.lru_line(set)?;
+        self.l1i.invalidate(line);
+        Some(line)
+    }
+
+    /// Direct access to the L1i for diagnostics and tests.
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    /// Remove the line from every level (used for experiment setup).
+    pub fn evict_everywhere(&mut self, addr: Addr) {
+        self.flush(addr);
+    }
+
+    /// Place a line at exactly the levels named by `residency`
+    /// (experiment-setup helper; keeps LLC inclusion: any cached line is
+    /// also placed in the LLC).
+    pub fn place(&mut self, addr: Addr, residency: Residency) {
+        self.flush(addr);
+        if residency.cached_anywhere() {
+            self.llc.insert(addr, false);
+        }
+        if residency.l2 {
+            self.l2.insert(addr, false);
+        }
+        if residency.l1i {
+            self.l1i.insert(addr, false);
+        }
+        if residency.l1d {
+            self.l1d.insert(addr, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier() -> CacheHierarchy {
+        CacheHierarchy::new(HierarchyConfig::intel_like())
+    }
+
+    #[test]
+    fn fetch_fills_inclusively() {
+        let mut h = hier();
+        let a = Addr(0x4000);
+        assert_eq!(h.fetch(a).level, Level::Dram);
+        let r = h.residency(a);
+        assert!(r.l1i && r.l2 && r.llc && !r.l1d);
+        assert_eq!(h.fetch(a).level, Level::L1i);
+    }
+
+    #[test]
+    fn read_fills_data_path() {
+        let mut h = hier();
+        let a = Addr(0x8000);
+        assert_eq!(h.read(a).level, Level::Dram);
+        assert_eq!(h.read(a).level, Level::L1d);
+        let r = h.residency(a);
+        assert!(r.l1d && r.l2 && r.llc && !r.l1i);
+    }
+
+    #[test]
+    fn write_invalidates_l1i_copy() {
+        let mut h = hier();
+        let a = Addr(0xc000);
+        h.fetch(a);
+        assert!(h.residency(a).l1i);
+        let info = h.write(a);
+        assert!(info.was_in_l1i);
+        let r = h.residency(a);
+        assert!(!r.l1i, "store must invalidate the L1i copy");
+        assert!(r.l1d);
+        assert!(h.l1d_is_dirty(a));
+    }
+
+    #[test]
+    fn flush_removes_everywhere() {
+        let mut h = hier();
+        let a = Addr(0x10000);
+        h.fetch(a);
+        h.read(a);
+        let info = h.flush(a);
+        assert!(info.was_cached && info.was_in_l1i);
+        assert!(!h.residency(a).cached_anywhere());
+        let info2 = h.flush(a);
+        assert!(!info2.was_cached);
+    }
+
+    #[test]
+    fn writeback_keeps_line_valid() {
+        let mut h = hier();
+        let a = Addr(0x14000);
+        h.write(a);
+        let info = h.writeback(a);
+        assert!(info.wrote_back);
+        assert!(h.residency(a).l1d);
+        assert!(!h.l1d_is_dirty(a));
+    }
+
+    #[test]
+    fn l1i_set_conflict_evicts_lru() {
+        let mut h = hier();
+        // 64-set 8-way L1i: 9 lines in the same set (stride 4096).
+        for i in 0..9u64 {
+            h.fetch(Addr(0x100000 + i * 4096));
+        }
+        let r0 = h.residency(Addr(0x100000));
+        assert!(!r0.l1i, "first line should be LRU-evicted from L1i");
+        assert!(r0.l2, "but should remain in L2");
+    }
+
+    #[test]
+    fn place_establishes_exact_state() {
+        let mut h = hier();
+        let a = Addr(0x20000);
+        h.place(a, Residency { l1i: false, l1d: false, l2: true, llc: true });
+        let r = h.residency(a);
+        assert_eq!(r, Residency { l1i: false, l1d: false, l2: true, llc: true });
+        assert_eq!(h.read(a).level, Level::L2);
+    }
+
+    #[test]
+    fn prefetch_ifetch_fills_l2_not_l1i() {
+        let mut h = hier();
+        let a = Addr(0x24000);
+        h.prefetch_ifetch(a);
+        let r = h.residency(a);
+        assert!(r.l2 && r.llc, "streamed into the shared levels");
+        assert!(!r.l1i, "but not into the L1i");
+    }
+
+    impl CacheHierarchy {
+        fn l1d_is_dirty(&self, a: Addr) -> bool {
+            self.l1d.is_dirty(a)
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Sparse byte-addressable simulated memory.
+
+use std::collections::HashMap;
+
+use crate::addr::{Addr, PAGE_SIZE};
+
+/// Sparse 64-bit memory backed by 4 KiB pages allocated on demand.
+///
+/// Reads from unallocated memory return zero, which keeps victim setup
+/// simple and deterministic.
+///
+/// ```
+/// use smack_uarch::mem::Memory;
+/// use smack_uarch::Addr;
+///
+/// let mut m = Memory::new();
+/// m.write_u64(Addr(0x1000), 0xdead_beef);
+/// assert_eq!(m.read_u64(Addr(0x1000)), 0xdead_beef);
+/// assert_eq!(m.read_u8(Addr(0x9999)), 0);
+/// ```
+#[derive(Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl Memory {
+    /// New empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages.entry(page).or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&self, addr: Addr) -> u8 {
+        match self.pages.get(&addr.page().0) {
+            Some(p) => p[(addr.0 - addr.page().0) as usize],
+            None => 0,
+        }
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: Addr, val: u8) {
+        let page = addr.page().0;
+        self.page_mut(page)[(addr.0 - page) as usize] = val;
+    }
+
+    /// Read a little-endian u64 (may straddle pages).
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr.offset(i as i64));
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Write a little-endian u64 (may straddle pages).
+    pub fn write_u64(&mut self, addr: Addr, val: u64) {
+        for (i, b) in val.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr.offset(i as i64), *b);
+        }
+    }
+
+    /// Copy a byte slice into memory at `addr`.
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.offset(i as i64), *b);
+        }
+    }
+
+    /// Read `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: Addr, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr.offset(i as i64))).collect()
+    }
+
+    /// Number of allocated pages (for tests and diagnostics).
+    pub fn allocated_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory").field("allocated_pages", &self.pages.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unallocated_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_u64(Addr(0xdead_0000)), 0);
+        assert_eq!(m.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut m = Memory::new();
+        m.write_u64(Addr(8), u64::MAX - 3);
+        assert_eq!(m.read_u64(Addr(8)), u64::MAX - 3);
+    }
+
+    #[test]
+    fn straddles_page_boundary() {
+        let mut m = Memory::new();
+        m.write_u64(Addr(PAGE_SIZE - 4), 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(Addr(PAGE_SIZE - 4)), 0x1122_3344_5566_7788);
+        assert_eq!(m.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut m = Memory::new();
+        m.write_bytes(Addr(100), b"smack");
+        assert_eq!(m.read_bytes(Addr(100), 5), b"smack");
+    }
+}

@@ -1,0 +1,112 @@
+//! A small fully-associative LRU translation lookaside buffer.
+//!
+//! SMaCk's oracle preparation (Listing 1) warms the TLB entry for the oracle
+//! page before timing anything, precisely so that page walks do not pollute
+//! the measurements; modeling the TLB lets the reproduction show why that
+//! step matters.
+
+use crate::addr::Addr;
+
+/// A fully-associative LRU TLB over 4 KiB pages.
+///
+/// ```
+/// use smack_uarch::tlb::Tlb;
+/// use smack_uarch::Addr;
+///
+/// let mut t = Tlb::new(4);
+/// assert!(!t.access(Addr(0x1000)));
+/// assert!(t.access(Addr(0x1fff))); // same page
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    capacity: usize,
+    entries: Vec<(u64, u64)>, // (page, stamp)
+    clock: u64,
+}
+
+impl Tlb {
+    /// Create a TLB holding `capacity` page translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Tlb {
+        assert!(capacity > 0, "TLB capacity must be nonzero");
+        Tlb { capacity, entries: Vec::with_capacity(capacity), clock: 0 }
+    }
+
+    /// Access the page containing `addr`. Returns `true` on a TLB hit;
+    /// on a miss the translation is installed (evicting LRU if full).
+    pub fn access(&mut self, addr: Addr) -> bool {
+        let page = addr.page().0;
+        self.clock += 1;
+        let stamp = self.clock;
+        for e in &mut self.entries {
+            if e.0 == page {
+                e.1 = stamp;
+                return true;
+            }
+        }
+        if self.entries.len() >= self.capacity {
+            let (idx, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.1)
+                .expect("full TLB is nonempty");
+            self.entries.swap_remove(idx);
+        }
+        self.entries.push((page, stamp));
+        false
+    }
+
+    /// Whether the page containing `addr` is currently mapped (no side
+    /// effects).
+    pub fn contains(&self, addr: Addr) -> bool {
+        let page = addr.page().0;
+        self.entries.iter().any(|e| e.0 == page)
+    }
+
+    /// Drop all translations.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of resident translations.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_install() {
+        let mut t = Tlb::new(2);
+        assert!(!t.access(Addr(0)));
+        assert!(t.access(Addr(100)));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2);
+        t.access(Addr(0x0000));
+        t.access(Addr(0x1000));
+        t.access(Addr(0x0000)); // 0x1000 is LRU
+        t.access(Addr(0x2000)); // evicts 0x1000
+        assert!(t.contains(Addr(0x0000)));
+        assert!(!t.contains(Addr(0x1000)));
+        assert!(t.contains(Addr(0x2000)));
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut t = Tlb::new(2);
+        t.access(Addr(0));
+        t.flush();
+        assert_eq!(t.occupancy(), 0);
+        assert!(!t.access(Addr(0)));
+    }
+}

@@ -1,0 +1,117 @@
+//! Optional event tracing for debugging, tests and the Figure-2 style
+//! counter analysis.
+
+use crate::addr::Addr;
+use crate::engine::ThreadId;
+use crate::profile::ProbeKind;
+
+/// A microarchitectural event of interest.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Event {
+    /// An SMC machine clear fired.
+    MachineClear {
+        /// Thread whose instruction caused the clear.
+        tid: ThreadId,
+        /// Probe class that triggered it.
+        kind: ProbeKind,
+        /// Conflicting line.
+        line: Addr,
+        /// Cycle (triggering thread's clock) at which it fired.
+        at: u64,
+    },
+    /// A conditional branch mispredicted and its wrong path was squashed.
+    BranchSquash {
+        /// Thread that mispredicted.
+        tid: ThreadId,
+        /// Branch instruction address.
+        pc: u64,
+        /// Number of wrong-path instructions executed before the squash.
+        wrong_path_instrs: u32,
+        /// Cycle at which the squash completed.
+        at: u64,
+    },
+    /// A thread halted.
+    Halted {
+        /// Thread that halted.
+        tid: ThreadId,
+        /// Clock at halt.
+        at: u64,
+    },
+}
+
+/// A bounded in-memory trace of [`Event`]s. Disabled by default; tracing
+/// costs nothing when off.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    events: Vec<Event>,
+    capacity: usize,
+}
+
+impl Tracer {
+    /// A disabled tracer.
+    pub fn new() -> Tracer {
+        Tracer { enabled: false, events: Vec::new(), capacity: 1 << 16 }
+    }
+
+    /// Enable tracing with the given maximum event count.
+    pub fn enable(&mut self, capacity: usize) {
+        self.enabled = true;
+        self.capacity = capacity;
+        self.events.clear();
+    }
+
+    /// Disable tracing and drop recorded events.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+        self.events.clear();
+    }
+
+    /// Whether tracing is currently on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled or full).
+    pub fn record(&mut self, e: Event) {
+        if self.enabled && self.events.len() < self.capacity {
+            self.events.push(e);
+        }
+    }
+
+    /// Events recorded so far.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Take the recorded events, leaving the tracer empty but enabled.
+    pub fn take(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Tracer::new();
+        t.record(Event::Halted { tid: ThreadId::T0, at: 1 });
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_records_up_to_capacity() {
+        let mut t = Tracer::new();
+        t.enable(2);
+        for i in 0..5 {
+            t.record(Event::Halted { tid: ThreadId::T0, at: i });
+        }
+        assert_eq!(t.events().len(), 2);
+        let taken = t.take();
+        assert_eq!(taken.len(), 2);
+        assert!(t.events().is_empty());
+        assert!(t.is_enabled());
+    }
+}

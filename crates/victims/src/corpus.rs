@@ -1,0 +1,225 @@
+//! Synthetic cryptographic-library corpus for Case Study II step 1.
+//!
+//! The paper fingerprints 14 Libgcrypt and 20 OpenSSL versions by the L1i
+//! sets their RSA decryption touches: each version lays its hot functions
+//! out at different offsets, so the 64-set activity histogram is a stable
+//! fingerprint. The reproduction generates, per version, a deterministic
+//! layout of ~12 hot "functions" (cache lines) with per-function call
+//! intensities; versions that are adjacent releases share most of their
+//! layout (differing in one or two functions), reproducing the paper's
+//! observation that *close versions are the hard cases*.
+
+use smack_uarch::asm::{Assembler, Program};
+use smack_uarch::isa::Reg;
+
+/// Library family.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LibraryFamily {
+    /// OpenSSL.
+    OpenSsl,
+    /// Libgcrypt.
+    Libgcrypt,
+}
+
+impl LibraryFamily {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LibraryFamily::OpenSsl => "OpenSSL",
+            LibraryFamily::Libgcrypt => "Libgcrypt",
+        }
+    }
+}
+
+/// One library version in the corpus.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LibraryVersion {
+    /// Family this version belongs to.
+    pub family: LibraryFamily,
+    /// Human-readable version string.
+    pub version: String,
+    /// Deterministic layout seed.
+    pub seed: u64,
+}
+
+impl LibraryVersion {
+    /// Label shown in reports, e.g. `OpenSSL 1.1.1k`.
+    pub fn label(&self) -> String {
+        format!("{} {}", self.family.name(), self.version)
+    }
+}
+
+const OPENSSL_VERSIONS: [&str; 20] = [
+    "1.0.2u", "1.1.0l", "1.1.1a", "1.1.1c", "1.1.1d", "1.1.1f", "1.1.1g", "1.1.1i", "1.1.1k",
+    "1.1.1l", "1.1.1n", "1.1.1q", "1.1.1t", "1.1.1w", "3.0.0", "3.0.2", "3.0.7", "3.0.8", "3.1.0",
+    "3.1.2",
+];
+
+const LIBGCRYPT_VERSIONS: [&str; 14] = [
+    "1.5.1", "1.5.4", "1.6.1", "1.6.3", "1.7.0", "1.7.6", "1.8.1", "1.8.4", "1.8.5", "1.9.0",
+    "1.9.4", "1.10.0", "1.10.1", "1.10.2",
+];
+
+/// The full 34-version corpus (20 OpenSSL + 14 Libgcrypt), as in §5.2.
+pub fn corpus() -> Vec<LibraryVersion> {
+    let mut out = Vec::with_capacity(34);
+    for (i, v) in OPENSSL_VERSIONS.iter().enumerate() {
+        out.push(LibraryVersion {
+            family: LibraryFamily::OpenSsl,
+            version: (*v).to_owned(),
+            seed: 0x0551_0000 + i as u64,
+        });
+    }
+    for (i, v) in LIBGCRYPT_VERSIONS.iter().enumerate() {
+        out.push(LibraryVersion {
+            family: LibraryFamily::Libgcrypt,
+            version: (*v).to_owned(),
+            seed: 0x6c67_0000 + i as u64,
+        });
+    }
+    out
+}
+
+fn mix(seed: u64, i: u64) -> u64 {
+    // SplitMix64 finalizer.
+    let mut z = seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Number of hot functions per library victim.
+pub const HOT_FUNCTIONS: usize = 12;
+
+/// A built "RSA decryption with library version X" victim.
+#[derive(Clone, Debug)]
+pub struct LibraryVictim {
+    /// Assembled program.
+    pub program: Program,
+    /// Entry point; takes the outer iteration count in `R1`.
+    pub entry: u64,
+    /// The (set, intensity) layout of the hot functions.
+    pub layout: Vec<(usize, u32)>,
+}
+
+/// Build the victim program for a library version.
+///
+/// Adjacent versions within a family share most of their layout: function
+/// `f`'s placement derives from `seed - (seed % 4)` for all but the last
+/// two functions, so consecutive seeds only move a couple of lines.
+/// `key_seed` perturbs call counts slightly, modeling different decryption
+/// keys (the paper collects 8 measurements per version with varying keys).
+pub fn build_victim(version: &LibraryVersion, code_base: u64, key_seed: u64) -> LibraryVictim {
+    assert_eq!(code_base % 4096, 0, "code base must be page-aligned");
+    let coarse = version.seed - (version.seed % 4);
+    let mut layout = Vec::with_capacity(HOT_FUNCTIONS);
+    for f in 0..HOT_FUNCTIONS as u64 {
+        // Most functions placed by the coarse (shared) seed; the last two
+        // by the exact seed, so close versions differ subtly.
+        let s = if f < HOT_FUNCTIONS as u64 - 2 { coarse } else { version.seed };
+        let set = (mix(s, f * 2 + 1) % 64) as usize;
+        let intensity = 1 + (mix(s, f * 2 + 2) % 5) as u32;
+        layout.push((set, intensity));
+    }
+
+    let mut a = Assembler::new(code_base);
+    a.label("entry").label("outer");
+    for (f, (_, intensity)) in layout.iter().enumerate() {
+        let calls = intensity + ((key_seed >> f) & 1) as u32;
+        for _ in 0..calls {
+            a.call(format!("fn{f}"));
+        }
+    }
+    a.add_imm(Reg::R1, -1).cmp_imm(Reg::R1, 0).jne("outer").halt();
+    for (f, (set, _)) in layout.iter().enumerate() {
+        let addr = code_base + 0x10_000 + (f as u64) * 0x1000 + (*set as u64) * 64;
+        a.org(addr).label(&format!("fn{f}")).nop().delay(40).ret();
+    }
+    let program = a.assemble().expect("library victim assembles");
+    LibraryVictim { program, entry: code_base, layout }
+}
+
+/// The ideal per-set activity profile of a version (used in tests; the
+/// attack measures this through the cache instead of reading it).
+pub fn expected_profile(version: &LibraryVersion) -> [u32; 64] {
+    let victim = build_victim(version, 0x0700_0000, 0);
+    let mut profile = [0u32; 64];
+    for (set, intensity) in &victim.layout {
+        profile[*set] += *intensity;
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smack_uarch::Addr;
+
+    #[test]
+    fn corpus_has_paper_counts() {
+        let c = corpus();
+        assert_eq!(c.len(), 34);
+        assert_eq!(c.iter().filter(|v| v.family == LibraryFamily::OpenSsl).count(), 20);
+        assert_eq!(c.iter().filter(|v| v.family == LibraryFamily::Libgcrypt).count(), 14);
+        // Labels unique.
+        let mut labels: Vec<_> = c.iter().map(|v| v.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 34);
+    }
+
+    #[test]
+    fn layouts_deterministic_and_version_specific() {
+        let c = corpus();
+        let a1 = build_victim(&c[0], 0x0700_0000, 0);
+        let a2 = build_victim(&c[0], 0x0700_0000, 0);
+        assert_eq!(a1.layout, a2.layout);
+        let b = build_victim(&c[7], 0x0700_0000, 0);
+        assert_ne!(a1.layout, b.layout);
+    }
+
+    #[test]
+    fn adjacent_versions_share_most_layout() {
+        let c = corpus();
+        // Seeds 0 and 1 share the same coarse seed.
+        let a = build_victim(&c[0], 0x0700_0000, 0);
+        let b = build_victim(&c[1], 0x0700_0000, 0);
+        let shared =
+            a.layout.iter().zip(b.layout.iter()).filter(|(x, y)| x == y).count();
+        assert!(shared >= HOT_FUNCTIONS - 2, "shared {shared}");
+        assert_ne!(a.layout, b.layout, "but not identical");
+    }
+
+    #[test]
+    fn victims_run_and_touch_expected_sets() {
+        use smack_uarch::{Machine, MicroArch, ThreadId};
+        let c = corpus();
+        let v = build_victim(&c[3], 0x0700_0000, 1);
+        let mut m = Machine::new(MicroArch::TigerLake.profile());
+        m.load_program(&v.program);
+        m.start_program(ThreadId::T1, v.entry, &[2]);
+        m.run_until_halt(ThreadId::T1, 2_000_000).unwrap();
+        // Every hot function's line must now be resident in L1i or have
+        // passed through it (still in L2 at least).
+        for (f, (set, _)) in v.layout.iter().enumerate() {
+            let addr = Addr(0x0700_0000 + 0x10_000 + (f as u64) * 0x1000 + (*set as u64) * 64);
+            let r = m.residency(addr);
+            assert!(r.l2 || r.l1i, "fn{f} line visited");
+        }
+    }
+
+    #[test]
+    fn expected_profiles_mostly_distinct() {
+        let c = corpus();
+        let mut distinct = 0;
+        for i in 0..c.len() {
+            for j in (i + 1)..c.len() {
+                if expected_profile(&c[i]) != expected_profile(&c[j]) {
+                    distinct += 1;
+                }
+            }
+        }
+        let pairs = c.len() * (c.len() - 1) / 2;
+        assert!(distinct as f64 / pairs as f64 > 0.95, "{distinct}/{pairs}");
+    }
+}

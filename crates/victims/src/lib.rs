@@ -1,0 +1,29 @@
+//! # smack-victims
+//!
+//! Victim programs for the SMaCk reproduction, written in the simulated ISA
+//! of `smack-uarch`:
+//!
+//! * [`modexp`]: the RSA (Libgcrypt-1.5.1-style binary square-and-multiply)
+//!   and SRP (OpenSSL-1.1.1w-style sliding-window) modular-exponentiation
+//!   drivers. These read the secret exponent from *simulated memory* and
+//!   make genuinely secret-dependent calls to square/multiply routines
+//!   placed in attacker-chosen L1i sets — the attacker recovers the secret
+//!   purely from cache timing.
+//! * [`spectre`]: the ISpectre victim gadget (bounds check + indirect call
+//!   through an attacker-influenced oracle offset, paper Listing 5).
+//! * [`benign`]: twenty benign workloads standing in for the paper's
+//!   Phoronix suite, including an `amg`-like self-modifying workload that
+//!   reproduces the detector's false-positive case (§6.1).
+//! * [`mod@corpus`]: a synthetic corpus of 14 Libgcrypt + 20 OpenSSL
+//!   "library versions" whose code layouts produce distinct L1i-set
+//!   activity fingerprints (Case Study II step 1).
+
+pub mod benign;
+pub mod corpus;
+pub mod modexp;
+pub mod spectre;
+
+pub use benign::BenignWorkload;
+pub use corpus::{corpus, LibraryFamily, LibraryVersion};
+pub use modexp::{ModexpVictim, ModexpVictimBuilder};
+pub use spectre::SpectreVictim;

@@ -1,0 +1,171 @@
+//! The ISpectre victim gadget (paper Listing 5).
+//!
+//! A bounds-checked indirect call: for in-bounds indices the gadget calls
+//! into the oracle page at `array[index] * 64`; for out-of-bounds indices
+//! the bounds check architecturally skips the call — but after PHT
+//! mistraining the call executes *speculatively*, fetching the oracle line
+//! selected by the out-of-bounds (secret) byte into the L1i, where an
+//! SMC-probe reload detects it.
+//!
+//! The bounds value is reached through a pointer indirection so that
+//! flushing two lines gives the attacker a comfortably wide speculation
+//! window (two dependent DRAM loads before the branch can resolve).
+
+use smack_uarch::asm::{Assembler, Program};
+use smack_uarch::isa::{MemRef, Reg};
+use smack_uarch::Addr;
+
+/// Number of oracle slots (one per possible secret byte value).
+pub const ORACLE_SLOTS: usize = 256;
+
+/// A built ISpectre victim: gadget code, oracle page and data layout.
+#[derive(Clone, Debug)]
+pub struct SpectreVictim {
+    /// Gadget + oracle code.
+    pub program: Program,
+    /// Entry of `victim_function(index)`.
+    pub entry: u64,
+    /// Line holding the pointer to the bounds value.
+    pub bounds_ptr: Addr,
+    /// Line holding the bounds value itself.
+    pub bounds: Addr,
+    /// Base of the `notsecret` byte array.
+    pub array: Addr,
+    /// Base of the oracle code page (256 lines).
+    pub oracle_base: Addr,
+    /// Number of in-bounds entries in `notsecret`.
+    pub array_len: u64,
+}
+
+impl SpectreVictim {
+    /// Build the gadget with default addresses.
+    pub fn build() -> SpectreVictim {
+        Self::build_at(0x0300_0000, 0x0400_0000)
+    }
+
+    /// Build at explicit code/data bases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bases are not page-aligned.
+    pub fn build_at(code_base: u64, data_base: u64) -> SpectreVictim {
+        assert_eq!(code_base % 4096, 0, "code base must be page-aligned");
+        assert_eq!(data_base % 4096, 0, "data base must be page-aligned");
+        let oracle_base = code_base + 0x10_000;
+        let bounds_ptr = data_base;
+        let bounds = data_base + 0x1000; // separate line & page
+        let array = data_base + 0x2000;
+        let array_len = 16u64;
+
+        let mut a = Assembler::new(code_base);
+        // victim_function(R1 = index):
+        //   size = **bounds_ptr;  if index >= size goto done;
+        //   call *(oracle_base + notsecret[index] * 64)
+        a.label("victim_function")
+            .mov_imm(Reg::R4, bounds_ptr)
+            .load(Reg::R4, MemRef::base(Reg::R4)) // R4 = &bounds
+            .load(Reg::R2, MemRef::base(Reg::R4)) // R2 = array_size (slow when flushed)
+            .cmp(Reg::R1, Reg::R2)
+            .jge("done")
+            .mov_imm(Reg::R5, array)
+            .add(Reg::R5, Reg::R1)
+            .load_byte(Reg::R3, MemRef::base(Reg::R5))
+            .shl_imm(Reg::R3, 6)
+            .add_imm(Reg::R3, oracle_base as i64)
+            .call_reg(Reg::R3)
+            .label("done")
+            .ret();
+        // Oracle page: one two-instruction line per possible byte value.
+        for slot in 0..ORACLE_SLOTS as u64 {
+            a.org(oracle_base + slot * 64).nop().ret();
+        }
+        let program = a.assemble().expect("spectre victim assembles");
+        SpectreVictim {
+            program,
+            entry: code_base,
+            bounds_ptr: Addr(bounds_ptr),
+            bounds: Addr(bounds),
+            array: Addr(array),
+            oracle_base: Addr(oracle_base),
+            array_len,
+        }
+    }
+
+    /// Address of oracle slot `byte`.
+    pub fn oracle_slot(&self, byte: u8) -> Addr {
+        Addr(self.oracle_base.0 + byte as u64 * 64)
+    }
+
+    /// Install the victim's data: the bounds pointer chain, the in-bounds
+    /// array contents, and the secret bytes placed immediately after the
+    /// array (so `index >= array_len` reads them out of bounds).
+    pub fn stage(&self, machine: &mut smack_uarch::Machine, secret: &[u8]) {
+        machine.load_program(&self.program);
+        machine.write_u64(self.bounds_ptr, self.bounds.0);
+        machine.write_u64(self.bounds, self.array_len);
+        for i in 0..self.array_len {
+            // In-bounds training values: slot = index % 16.
+            machine.write_u8(Addr(self.array.0 + i), (i % 16) as u8);
+        }
+        for (i, b) in secret.iter().enumerate() {
+            machine.write_u8(Addr(self.array.0 + self.array_len + i as u64), *b);
+        }
+    }
+
+    /// The out-of-bounds index that reaches secret byte `i`.
+    pub fn secret_index(&self, i: usize) -> u64 {
+        self.array_len + i as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smack_uarch::{Machine, MicroArch, ThreadId};
+
+    const T0: ThreadId = ThreadId::T0;
+
+    #[test]
+    fn in_bounds_call_reaches_oracle_slot() {
+        let v = SpectreVictim::build();
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        v.stage(&mut m, b"X");
+        m.call(T0, v.entry, &[3]).unwrap();
+        // notsecret[3] = 3 -> slot 3 executed -> line in L1i.
+        assert!(m.residency(v.oracle_slot(3)).l1i);
+        assert!(!m.residency(v.oracle_slot(9)).l1i);
+    }
+
+    #[test]
+    fn out_of_bounds_is_architecturally_silent() {
+        let v = SpectreVictim::build();
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        v.stage(&mut m, b"\x7f");
+        // No training, bounds in cache: branch resolves immediately and the
+        // OOB access never runs.
+        m.call(T0, v.entry, &[v.secret_index(0)]).unwrap();
+        assert!(!m.residency(v.oracle_slot(0x7f)).l1i);
+    }
+
+    #[test]
+    fn mistrained_oob_call_leaks_into_l1i() {
+        let v = SpectreVictim::build();
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        v.stage(&mut m, &[0xA5]);
+        // Train the bounds check with in-bounds indices.
+        for i in 0..8 {
+            m.call(T0, v.entry, &[i % v.array_len]).unwrap();
+        }
+        // Flush the pointer chain and the oracle page.
+        m.flush_line(v.bounds_ptr);
+        m.flush_line(v.bounds);
+        for s in 0..ORACLE_SLOTS {
+            m.flush_line(v.oracle_slot(s as u8));
+        }
+        m.call(T0, v.entry, &[v.secret_index(0)]).unwrap();
+        assert!(
+            m.residency(v.oracle_slot(0xA5)).l1i,
+            "speculatively fetched secret slot must remain in L1i"
+        );
+    }
+}

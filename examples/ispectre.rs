@@ -1,0 +1,27 @@
+//! Case Study IV end to end: ISpectre leaks a secret string through the
+//! instruction cache using speculative indirect calls (paper §5.4).
+//!
+//! Run with: `cargo run --example ispectre`
+
+use smack::ispectre::{leak_secret, ISpectreConfig};
+use smack_uarch::{MicroArch, ProbeKind};
+
+fn main() {
+    let secret = b"The Magic Words are Squeamish Ossifrage.";
+    for kind in [ProbeKind::Store, ProbeKind::Flush] {
+        let cfg = ISpectreConfig::new(kind);
+        let report =
+            leak_secret(MicroArch::CascadeLake, secret, &cfg, 42).expect("attack runs");
+        println!(
+            "{kind:<12} -> {:5.1}% of bytes recovered at {:>8.0} B/s ({} machine clears)",
+            report.success_rate * 100.0,
+            report.bytes_per_s,
+            report.machine_clears
+        );
+    }
+    println!();
+    println!(
+        "the leak lives in the L1 *instruction* cache, so data-cache-focused \
+         Spectre defenses never see it (paper §5.4)."
+    );
+}

@@ -1,0 +1,43 @@
+//! Quickstart: create a simulated Cascade Lake core, prepare an oracle
+//! cache line (paper Listing 1), and watch a store to an L1i-resident line
+//! trigger the SMC machine clear (paper Listing 2).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use smack::oracle::OraclePage;
+use smack::probe::Prober;
+use smack_uarch::{Addr, Machine, MicroArch, PerfEvent, Placement, ProbeKind, ThreadId};
+
+fn main() {
+    let mut machine = Machine::new(MicroArch::CascadeLake.profile());
+    let attacker = ThreadId::T0;
+
+    // An executable cache line the attacker controls.
+    let oracle = OraclePage::build(Addr(0x0040_0000), 1);
+    oracle.install(&mut machine);
+    let line = oracle.line(0);
+
+    // Listing 1: warm the TLB, flush, execute -> the line is L1i-resident.
+    oracle.prepare_l1i(&mut machine, attacker, 0).expect("oracle prepares");
+    println!("oracle line residency after preparation: {:?}", machine.residency(line));
+
+    let mut prober = Prober::new(attacker);
+    let before = machine.counters(attacker).snapshot();
+
+    // Listing 2: mfence; rdtsc; movb $0x90,(line); mfence; rdtsc.
+    let hot = prober.measure(&mut machine, ProbeKind::Store, line).expect("probe runs");
+    let clears = machine.counters(attacker).delta(&before, PerfEvent::MachineClearsSmc);
+    println!("store on L1i-resident line: {} cycles ({} SMC machine clear)", hot.cycles, clears);
+
+    // Compare with the same store on an L2-resident line: no conflict.
+    machine.place_line(line, Placement::L2);
+    let cold = prober.measure(&mut machine, ProbeKind::Store, line).expect("probe runs");
+    println!("store on L2-resident line:  {} cycles (no conflict)", cold.cycles);
+
+    println!();
+    println!(
+        "margin: {} cycles — hundreds of cycles of signal, vs the 1-2 cycles a \
+         classic L1i Prime+Probe gets. That margin is the paper's contribution.",
+        hot.cycles.saturating_sub(cold.cycles)
+    );
+}

@@ -1,0 +1,20 @@
+//! # smack-repro
+//!
+//! Workspace root for the SMaCk reproduction: the runnable examples live in
+//! `examples/` and the cross-crate integration tests in `tests/`. See the
+//! member crates for the actual functionality:
+//!
+//! * [`smack_uarch`] — the SMT core simulator with the SMC detection unit,
+//! * [`smack_crypto`] — bignum/RSA/SRP/SHA-256 substrates,
+//! * [`smack`] — the attack layer (probes, channels, case studies),
+//! * [`smack_victims`] — simulated victim programs,
+//! * [`smack_mastik`] — the classic Prime+Probe baseline,
+//! * [`smack_ml`] / [`smack_detection`] — kNN and the §6.1 detector.
+
+pub use smack;
+pub use smack_crypto;
+pub use smack_detection;
+pub use smack_mastik;
+pub use smack_ml;
+pub use smack_uarch;
+pub use smack_victims;

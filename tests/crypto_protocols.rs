@@ -1,0 +1,71 @@
+//! Protocol-level round trips through the public crypto APIs, as a
+//! downstream user of `smack-crypto` would exercise them.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smack_crypto::srp::{register, SrpClient, SrpServer};
+use smack_crypto::{Bignum, RsaKeyPair, Sha256, SrpGroup};
+
+#[test]
+fn rsa_round_trip_through_public_api() {
+    let mut rng = SmallRng::seed_from_u64(100);
+    let key = RsaKeyPair::generate(128, &mut rng);
+    let m = Bignum::from_bytes_be(b"attack at dawn");
+    assert_eq!(key.decrypt(&key.encrypt(&m)), m);
+}
+
+#[test]
+fn srp_login_and_schedule_ground_truth() {
+    let group = SrpGroup::synthetic(1024);
+    let mut rng = SmallRng::seed_from_u64(101);
+    let v = register(&group, "bob", "pw123", b"pepper");
+    let client = SrpClient::start(&group, &mut rng);
+    let server = SrpServer::start(&group, &v, &mut rng);
+    assert_eq!(
+        server.calc_server_key(client.public_a()),
+        client.calc_client_key(server.public_b(), "bob", "pw123", server.salt()),
+    );
+    // The schedule the attack recovers is exactly the schedule of b.
+    let schedule = server.server_key_schedule();
+    assert_eq!(schedule, smack_crypto::modexp::sliding_window_schedule(server.secret_b()));
+}
+
+#[test]
+fn sha256_vector() {
+    assert_eq!(
+        Sha256::to_hex(&Sha256::digest(b"smack")),
+        // Cross-checked against coreutils sha256sum.
+        "4e6750b2ca08feb9581dd5f41711eb8c279965ca5a2332c398e6988b16798f56",
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_modexp_algorithms_agree_via_public_api(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut m = Bignum::random_bits(&mut rng, 96);
+        if m.is_even() {
+            m = m.add(&Bignum::one());
+        }
+        let e = Bignum::random_bits(&mut rng, 48);
+        let b = Bignum::random_below(&mut rng, &m);
+        let r1 = smack_crypto::modexp::binary_ltr(&b, &e, &m);
+        let r2 = smack_crypto::modexp::sliding_window(&b, &e, &m);
+        let r3 = smack_crypto::modexp::montgomery_ladder(&b, &e, &m);
+        prop_assert_eq!(&r1, &r2);
+        prop_assert_eq!(&r1, &r3);
+    }
+
+    #[test]
+    fn prop_known_bits_never_exceed_exponent(seed in any::<u64>(), bits in 8usize..512) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let e = Bignum::random_bits(&mut rng, bits);
+        let s = smack_crypto::modexp::sliding_window_schedule(&e);
+        prop_assert_eq!(s.known_bits.len(), bits);
+        // The MSB is always recoverable (it starts the first window).
+        prop_assert!(s.known_bits[bits - 1]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Cross-crate invariants of the simulator, checked through public APIs —
+//! including property-based tests over random programs and probe patterns.
+
+use proptest::prelude::*;
+use smack::oracle::{EvictionSet, OraclePage};
+use smack::probe::Prober;
+use smack_uarch::asm::Assembler;
+use smack_uarch::isa::Reg;
+use smack_uarch::{Addr, Machine, MicroArch, NoiseConfig, Placement, ProbeKind, SmcBehavior, ThreadId};
+
+const T0: ThreadId = ThreadId::T0;
+
+#[test]
+fn machines_are_deterministic_for_equal_seeds() {
+    let run = |seed: u64| -> Vec<u64> {
+        let mut m =
+            Machine::with_noise(MicroArch::CascadeLake.profile(), NoiseConfig::noisy(), seed);
+        OraclePage::build(Addr(0x2_0000), 1).install(&mut m);
+        let mut p = Prober::new(T0);
+        (0..32)
+            .map(|i| {
+                let placement = if i % 2 == 0 { Placement::L1i } else { Placement::L2 };
+                m.place_line(Addr(0x2_0000), placement);
+                p.measure(&mut m, ProbeKind::Store, Addr(0x2_0000)).unwrap().cycles
+            })
+            .collect()
+    };
+    assert_eq!(run(9), run(9), "same seed, same timings");
+    assert_ne!(run(9), run(10), "different seed, different jitter");
+}
+
+#[test]
+fn table3_matrix_consistency_probe_timings() {
+    // On every part, for every supported probe class: if the matrix says
+    // Triggers, the L1i-hot timing must dominate the L2-cold timing.
+    for arch in MicroArch::ALL {
+        let profile = arch.profile();
+        for kind in ProbeKind::ALL {
+            if profile.smc.get(kind) != SmcBehavior::Triggers {
+                continue;
+            }
+            let mut m = Machine::new(arch.profile());
+            OraclePage::build(Addr(0x3_0000), 1).install(&mut m);
+            m.warm_tlb(T0, Addr(0x3_0000));
+            let mut p = Prober::new(T0);
+            m.place_line(Addr(0x3_0000), Placement::L1i);
+            let hot = p.measure(&mut m, kind, Addr(0x3_0000)).unwrap().cycles;
+            m.place_line(Addr(0x3_0000), Placement::L2);
+            let cold = p.measure(&mut m, kind, Addr(0x3_0000)).unwrap().cycles;
+            assert!(
+                hot > cold + 80,
+                "{arch}/{kind}: hot {hot} must dominate cold {cold}"
+            );
+        }
+    }
+}
+
+#[test]
+fn victim_architectural_results_survive_the_attack() {
+    // Running an attack against a computing victim must never change the
+    // victim's architectural outputs (only its timing).
+    let mut a = Assembler::new(0x50_0000);
+    a.mov_imm(Reg::R0, 0)
+        .mov_imm(Reg::R2, 1)
+        .label("l")
+        .add(Reg::R0, Reg::R2)
+        .add_imm(Reg::R2, 1)
+        .cmp_imm(Reg::R2, 200)
+        .jne("l")
+        .halt();
+    let prog = a.assemble().unwrap();
+
+    let run = |attack: bool| -> u64 {
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        m.load_program(&prog);
+        let ev = EvictionSet::for_machine(&m, 0x10_0000, 3);
+        ev.install(&mut m);
+        let mut p = Prober::new(T0);
+        m.start_program(ThreadId::T1, prog.entry(), &[]);
+        while m.state(ThreadId::T1) == smack_uarch::ThreadState::Running {
+            if attack {
+                ev.prime(&mut m, &mut p).unwrap();
+                ev.probe(&mut m, &mut p, ProbeKind::Store).unwrap();
+            } else {
+                m.advance(T0, 500).unwrap();
+            }
+        }
+        m.reg(ThreadId::T1, Reg::R0)
+    };
+    let clean = run(false);
+    let attacked = run(true);
+    assert_eq!(clean, attacked, "attack must not corrupt victim results");
+    assert_eq!(clean, (1..200).sum::<u64>());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_probe_sequences_never_wedge_the_machine(
+        kinds in proptest::collection::vec(0usize..9, 1..24),
+        seed in any::<u64>(),
+    ) {
+        let mut m = Machine::with_noise(
+            MicroArch::CascadeLake.profile(),
+            NoiseConfig::realistic(),
+            seed,
+        );
+        OraclePage::build(Addr(0x2_0000), 4).install(&mut m);
+        let mut p = Prober::new(T0);
+        let mut last_clock = 0;
+        for (i, k) in kinds.iter().enumerate() {
+            let kind = ProbeKind::ALL[*k];
+            let line = Addr(0x2_0000 + ((i as u64 % 4) * 64));
+            let t = p.measure(&mut m, kind, line);
+            prop_assert!(t.is_ok(), "{kind} failed: {:?}", t.err());
+            let now = m.clock(T0);
+            prop_assert!(now > last_clock, "clock must advance");
+            last_clock = now;
+        }
+    }
+
+    #[test]
+    fn prop_prime_always_owns_the_set(set in 0usize..64, seed in any::<u64>()) {
+        let mut m = Machine::with_noise(
+            MicroArch::CascadeLake.profile(),
+            NoiseConfig::quiet(),
+            seed,
+        );
+        let ev = EvictionSet::for_machine(&m, 0x10_0000, set);
+        ev.install(&mut m);
+        let mut p = Prober::new(T0);
+        ev.prime(&mut m, &mut p).unwrap();
+        for w in ev.ways() {
+            prop_assert!(m.residency(*w).l1i);
+        }
+    }
+}
