@@ -59,9 +59,7 @@ fn bench_experiments(c: &mut Criterion) {
     // Table 2 / Figure 6 family: one SRP single-trace attack.
     let srp_b = Bignum::random_bits(&mut rng, 96);
     let srp_cfg = SrpAttackConfig::new(2048);
-    g.bench_function("table2_srp_trace_96b", |b| {
-        b.iter(|| single_trace(&srp_b, &srp_cfg))
-    });
+    g.bench_function("table2_srp_trace_96b", |b| b.iter(|| single_trace(&srp_b, &srp_cfg)));
 
     // Tables 3-4 family: one ISpectre byte.
     let spectre_cfg = ISpectreConfig::new(ProbeKind::Store);

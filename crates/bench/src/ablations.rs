@@ -13,6 +13,7 @@ use smack_uarch::{Machine, MicroArch, NoiseConfig, ProbeKind, UarchProfile};
 use smack_victims::modexp::{ModexpAlgorithm, ModexpVictimBuilder};
 
 use crate::report::{banner, f, s, Table};
+use crate::runner::Runner;
 use crate::Mode;
 
 /// Sweep the machine-clear latency surcharge and measure the covert
@@ -22,7 +23,9 @@ pub fn smc_penalty_sweep(mode: Mode) {
     let bits = mode.pick(200, 1_000);
     let payload = random_payload(bits, 0xab1);
     let mut t = Table::new(&["smc_extra (cycles)", "margin over L2 (cycles)", "error rate (%)"]);
-    for smc_extra in [4u32, 8, 16, 40, 120, 275] {
+    let surcharges = [4u32, 8, 16, 40, 120, 275];
+    let results = Runner::from_env().run(surcharges.len(), |i| {
+        let smc_extra = surcharges[i];
         let mut profile: UarchProfile = MicroArch::CascadeLake.profile();
         let mut costs = profile.probe_costs.get(ProbeKind::Store);
         costs.smc_extra = smc_extra;
@@ -31,7 +34,10 @@ pub fn smc_penalty_sweep(mode: Mode) {
         let mut m = Machine::new(profile);
         let r = run_channel(&mut m, &ChannelSpec::prime_probe(ProbeKind::Store), &payload, false)
             .expect("channel runs");
-        t.row(vec![s(smc_extra), s(margin), f(r.error_rate_pct, 1)]);
+        (margin, r.error_rate_pct)
+    });
+    for (smc_extra, (margin, error_pct)) in surcharges.iter().zip(results) {
+        t.row(vec![s(smc_extra), s(margin), f(error_pct, 1)]);
     }
     t.print();
     t.write_csv("ablation_smc_penalty");
@@ -49,20 +55,24 @@ pub fn frontend_ablation(mode: Mode) {
     banner("Ablation — front-end L2-latency hiding vs. the Mastik margin");
     let samples = mode.pick(50, 500);
     let mut t = Table::new(&["front-end", "execute L1i (cycles)", "execute L2 (cycles)", "margin"]);
-    for (label, hidden) in [("pipelined (real)", true), ("naive (exposed)", false)] {
+    let variants = [("pipelined (real)", true), ("naive (exposed)", false)];
+    let results = Runner::from_env().run(variants.len(), |i| {
+        let hidden = variants[i].1;
         let mut profile = MicroArch::CascadeLake.profile();
         if !hidden {
             profile.hierarchy.ifetch_extra_l2 = profile.hierarchy.lat_l2;
         }
         let mut m = Machine::new(profile);
-        let row = smack::characterize::figure1_mastik_row(&mut m, smack_uarch::ThreadId::T0, samples)
-            .expect("mastik row runs");
+        let row =
+            smack::characterize::figure1_mastik_row(&mut m, smack_uarch::ThreadId::T0, samples)
+                .expect("mastik row runs");
         let mean = |st: smack_uarch::Placement| -> f64 {
             row.iter().find(|c| c.state == st).map(|c| c.stats.mean).unwrap_or(f64::NAN)
         };
-        let l1i = mean(smack_uarch::Placement::L1i);
-        let l2 = mean(smack_uarch::Placement::L2);
-        t.row(vec![label.to_owned(), f(l1i, 1), f(l2, 1), f(l2 - l1i, 1)]);
+        (mean(smack_uarch::Placement::L1i), mean(smack_uarch::Placement::L2))
+    });
+    for ((label, _), (l1i, l2)) in variants.iter().zip(results) {
+        t.row(vec![(*label).to_owned(), f(l1i, 1), f(l2, 1), f(l2 - l1i, 1)]);
     }
     t.print();
     t.write_csv("ablation_frontend");
@@ -76,13 +86,17 @@ pub fn timer_resolution_sweep(mode: Mode) {
     let bits = mode.pick(200, 1_000);
     let payload = random_payload(bits, 0xab2);
     let mut t = Table::new(&["tsc resolution (cycles)", "error rate (%)"]);
-    for res in [1u32, 7, 21, 63, 127, 255] {
+    let resolutions = [1u32, 7, 21, 63, 127, 255];
+    let errors = Runner::from_env().run(resolutions.len(), |i| {
         let mut profile = MicroArch::CascadeLake.profile();
-        profile.tsc_resolution = res;
+        profile.tsc_resolution = resolutions[i];
         let mut m = Machine::new(profile);
         let r = run_channel(&mut m, &ChannelSpec::prime_probe(ProbeKind::Store), &payload, false)
             .expect("channel runs");
-        t.row(vec![s(res), f(r.error_rate_pct, 1)]);
+        r.error_rate_pct
+    });
+    for (res, error_pct) in resolutions.iter().zip(errors) {
+        t.row(vec![s(res), f(error_pct, 1)]);
     }
     t.print();
     t.write_csv("ablation_timer");
@@ -102,16 +116,19 @@ pub fn tau_w_sweep(mode: Mode) {
     let mut rng = SmallRng::seed_from_u64(0xab3);
     let exp = Bignum::random_bits(&mut rng, bits);
     let mut t = Table::new(&["wait (cycles)", "single-trace recovery"]);
-    for wait in [50u64, 100, 200, 400, 800, 1600] {
+    let waits = [50u64, 100, 200, 400, 800, 1600];
+    let rates = Runner::from_env().run(waits.len(), |i| {
         let cfg = RsaAttackConfig {
-            wait_cycles: wait,
+            wait_cycles: waits[i],
             noise: NoiseConfig::quiet(),
             ..RsaAttackConfig::new(ProbeKind::Flush)
         };
         let victim = rsa::build_victim(&cfg);
         let trace = rsa::collect_trace(MicroArch::TigerLake, &victim, &exp, &cfg, 7)
             .expect("trace collects");
-        let rate = rsa::score_bits(&rsa::decode_trace(&trace, exp.bit_len()), &exp);
+        rsa::score_bits(&rsa::decode_trace(&trace, exp.bit_len()), &exp)
+    });
+    for (wait, rate) in waits.iter().zip(rates) {
         t.row(vec![s(wait), f(rate, 3)]);
     }
     t.print();
@@ -131,7 +148,8 @@ pub fn countermeasure(mode: Mode) {
     let bits = mode.pick(128, 512);
     let mut rng = SmallRng::seed_from_u64(0xab4);
     let exp = Bignum::random_bits(&mut rng, bits);
-    let cfg = RsaAttackConfig { noise: NoiseConfig::quiet(), ..RsaAttackConfig::new(ProbeKind::Flush) };
+    let cfg =
+        RsaAttackConfig { noise: NoiseConfig::quiet(), ..RsaAttackConfig::new(ProbeKind::Flush) };
     let truth_ones =
         (0..exp.bit_len()).filter(|i| exp.bit(*i)).count() as f64 / exp.bit_len() as f64;
     let mut t = Table::new(&[
@@ -140,11 +158,12 @@ pub fn countermeasure(mode: Mode) {
         "decoded ones fraction",
         "true ones fraction",
     ]);
-    for (label, algorithm) in [
+    let victims = [
         ("square-and-multiply (Libgcrypt 1.5.1)", ModexpAlgorithm::BinaryLtr),
         ("Montgomery ladder (constant-time)", ModexpAlgorithm::MontgomeryLadder),
-    ] {
-        let mut b = ModexpVictimBuilder::new(algorithm);
+    ];
+    let results = Runner::from_env().run(victims.len(), |i| {
+        let mut b = ModexpVictimBuilder::new(victims[i].1);
         b.operand_bits(cfg.operand_bits);
         let victim = b.build();
         let trace = rsa::collect_trace(MicroArch::TigerLake, &victim, &exp, &cfg, 11)
@@ -152,7 +171,10 @@ pub fn countermeasure(mode: Mode) {
         let decoded = rsa::decode_trace(&trace, exp.bit_len());
         let rate = rsa::score_bits(&decoded, &exp);
         let ones = decoded.iter().filter(|b| **b).count() as f64 / decoded.len().max(1) as f64;
-        t.row(vec![label.to_owned(), f(rate, 3), f(ones, 2), f(truth_ones, 2)]);
+        (rate, ones)
+    });
+    for ((label, _), (rate, ones)) in victims.iter().zip(results) {
+        t.row(vec![(*label).to_owned(), f(rate, 3), f(ones, 2), f(truth_ones, 2)]);
     }
     t.print();
     t.write_csv("ablation_countermeasure");
@@ -175,9 +197,11 @@ pub fn sibling_slowdown(mode: Mode) {
     use smack_uarch::isa::Reg;
     use smack_uarch::{PerfEvent, ThreadId};
 
-    let mut t = Table::new(&["attacker behaviour", "victim instructions / 100k cycles", "slowdown"]);
-    let mut baseline = 0.0f64;
-    for (label, attack) in [("idle", false), ("Prime+iStore storm", true)] {
+    let mut t =
+        Table::new(&["attacker behaviour", "victim instructions / 100k cycles", "slowdown"]);
+    let behaviours = [("idle", false), ("Prime+iStore storm", true)];
+    let retired_counts = Runner::from_env().run(behaviours.len(), |i| {
+        let attack = behaviours[i].1;
         let mut m = Machine::new(MicroArch::CascadeLake.profile());
         let mut a = Assembler::new(0x60_0000);
         a.label("spin").add_imm(Reg::R2, 1).jmp("spin");
@@ -197,18 +221,20 @@ pub fn sibling_slowdown(mode: Mode) {
                 m.advance(ThreadId::T0, 500).expect("advance");
             }
         }
-        let retired = m.counters(ThreadId::T1).delta(&before, PerfEvent::InstRetired) as f64;
-        if !attack {
-            baseline = retired;
-        }
-        let slowdown = if retired > 0.0 { baseline / retired } else { f64::INFINITY };
-        t.row(vec![label.to_owned(), f(retired, 0), format!("{:.1}x", slowdown)]);
+        m.counters(ThreadId::T1).delta(&before, PerfEvent::InstRetired) as f64
+    });
+    let baseline = retired_counts[0];
+    for ((label, _), retired) in behaviours.iter().zip(&retired_counts) {
+        let slowdown = if *retired > 0.0 { baseline / retired } else { f64::INFINITY };
+        t.row(vec![(*label).to_owned(), f(*retired, 0), format!("{:.1}x", slowdown)]);
     }
     t.print();
     t.write_csv("ablation_slowdown");
     println!();
-    println!("paper: a single clear stalls the sibling ~235 cycles; sustained \
-              storms slow it several-fold (§7 reports up to 10x in the case studies).");
+    println!(
+        "paper: a single clear stalls the sibling ~235 cycles; sustained \
+              storms slow it several-fold (§7 reports up to 10x in the case studies)."
+    );
 }
 
 /// Run every ablation.

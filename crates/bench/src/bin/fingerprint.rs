@@ -1,9 +1,9 @@
 //! Case Study II steps 1–2 (paper §5.2): identify the victim's crypto
 //! library version from L1i-set activity fingerprints, and locate the
 //! multiplication set. Pass `--full` for the complete 34-version corpus.
+use smack::fingerprint::{library_id_experiment, mul_set_detection_accuracy, SweepConfig};
 use smack_bench::report::{banner, f, s, Table};
 use smack_bench::Mode;
-use smack::fingerprint::{library_id_experiment, mul_set_detection_accuracy, SweepConfig};
 use smack_uarch::MicroArch;
 use smack_victims::corpus::corpus;
 

@@ -6,7 +6,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use smack::channel::{run_channel, random_payload, ChannelSpec};
+use smack::channel::{random_payload, run_channel, ChannelSpec};
 use smack::characterize::{figure1, figure1_mastik_row, figure2};
 use smack::ispectre::{applicability, leak_secret, Applicability, ISpectreConfig};
 use smack::rsa::{self, RsaAttackConfig};
@@ -16,6 +16,7 @@ use smack_mastik::MastikMonitor;
 use smack_uarch::{Machine, MicroArch, NoiseConfig, Placement, ProbeKind, ThreadId};
 
 use crate::report::{banner, f, s, Table};
+use crate::runner::Runner;
 use crate::Mode;
 
 /// Figure 1: probe latency per cache state on Cascade Lake, plus the
@@ -23,10 +24,16 @@ use crate::Mode;
 pub fn fig1(mode: Mode) -> f64 {
     banner("Figure 1 — probe timing per microarchitectural state (Cascade Lake)");
     let samples = mode.pick(100, 10_000);
-    let mut m = Machine::new(MicroArch::CascadeLake.profile());
-    let cells = figure1(&mut m, ThreadId::T0, samples).expect("characterization runs");
-    let mut m2 = Machine::new(MicroArch::CascadeLake.profile());
-    let mastik = figure1_mastik_row(&mut m2, ThreadId::T0, samples).expect("mastik row runs");
+    let mut results = Runner::from_env().run(2, |i| {
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        if i == 0 {
+            figure1(&mut m, ThreadId::T0, samples).expect("characterization runs")
+        } else {
+            figure1_mastik_row(&mut m, ThreadId::T0, samples).expect("mastik row runs")
+        }
+    });
+    let mastik = results.pop().expect("two jobs ran");
+    let cells = results.pop().expect("two jobs ran");
 
     let mut t = Table::new(&["probe", "L1i", "L1d", "L2", "LLC", "DRAM"]);
     let mean = |cells: &[smack::characterize::Figure1Cell], k: ProbeKind, st: Placement| -> f64 {
@@ -71,10 +78,13 @@ pub fn fig1(mode: Mode) -> f64 {
 pub fn fig2(mode: Mode) {
     banner("Figure 2 — SMC reverse engineering via performance counters");
     let reps = mode.pick(200, 10_000);
-    for arch in [MicroArch::CascadeLake, MicroArch::AmdRyzen5] {
+    let arches = [MicroArch::CascadeLake, MicroArch::AmdRyzen5];
+    let per_arch = Runner::from_env().run(arches.len(), |i| {
+        let mut m = Machine::new(arches[i].profile());
+        figure2(&mut m, ThreadId::T0, reps).expect("counter profiling runs")
+    });
+    for (arch, profiles) in arches.iter().zip(per_arch) {
         println!("--- {arch} ---");
-        let mut m = Machine::new(arch.profile());
-        let profiles = figure2(&mut m, ThreadId::T0, reps).expect("counter profiling runs");
         let events = smack::characterize::FIGURE2_EVENTS;
         let mut header: Vec<&str> = vec!["probe"];
         let names: Vec<String> = events.iter().map(|e| e.name().to_owned()).collect();
@@ -88,7 +98,10 @@ pub fn fig2(mode: Mode) {
             t.row(row);
         }
         t.print();
-        t.write_csv(&format!("fig2_{}", if arch == MicroArch::CascadeLake { "intel" } else { "amd" }));
+        t.write_csv(&format!(
+            "fig2_{}",
+            if *arch == MicroArch::CascadeLake { "intel" } else { "amd" }
+        ));
         println!();
     }
     println!(
@@ -117,15 +130,26 @@ pub fn table1(mode: Mode) -> Vec<ChannelRow> {
     banner("Table 1 — SMC covert channels (Cascade Lake)");
     let bits = mode.pick(300, 4_000);
     let payload = random_payload(bits, 0x7ab1e1);
+    let specs = ChannelSpec::table1();
+    // One trial per channel spec, plus the paper's AMD note as a final
+    // trial: Prime+iLock on Ryzen 5 is slower and noisier.
+    let outcomes = Runner::from_env().run(specs.len() + 1, |i| {
+        if i < specs.len() {
+            let mut m = Machine::new(MicroArch::CascadeLake.profile());
+            run_channel(&mut m, &specs[i], &payload, false)
+        } else {
+            let mut m = Machine::new(MicroArch::AmdRyzen5.profile());
+            run_channel(&mut m, &ChannelSpec::prime_probe(ProbeKind::Lock), &payload, false)
+        }
+    });
     let mut rows = Vec::new();
     let mut t = Table::new(&["covert channel", "app.", "bit rate (kbit/s)", "error rate (%)"]);
-    for spec in ChannelSpec::table1() {
-        let mut m = Machine::new(MicroArch::CascadeLake.profile());
-        match run_channel(&mut m, &spec, &payload, false) {
+    for (spec, outcome) in specs.iter().zip(&outcomes) {
+        match outcome {
             Ok(r) => {
                 t.row(vec![r.name.clone(), s("yes"), f(r.kbit_per_s, 1), f(r.error_rate_pct, 1)]);
                 rows.push(ChannelRow {
-                    name: r.name,
+                    name: r.name.clone(),
                     applicable: true,
                     kbit_per_s: r.kbit_per_s,
                     error_pct: r.error_rate_pct,
@@ -142,10 +166,7 @@ pub fn table1(mode: Mode) -> Vec<ChannelRow> {
             }
         }
     }
-    // The paper's AMD note: Prime+iLock on Ryzen 5 is slower and noisier.
-    let mut m = Machine::new(MicroArch::AmdRyzen5.profile());
-    if let Ok(r) = run_channel(&mut m, &ChannelSpec::prime_probe(ProbeKind::Lock), &payload, false)
-    {
+    if let Some(Ok(r)) = outcomes.last() {
         t.row(vec![
             format!("{} (AMD Ryzen 5)", r.name),
             s("yes"),
@@ -209,8 +230,7 @@ pub fn fig4(mode: Mode) {
     let exp = Bignum::random_bits(&mut rng, bits);
     let cfg = RsaAttackConfig::new(ProbeKind::Store);
     let victim = rsa::build_victim(&cfg);
-    let trace =
-        rsa::collect_trace(MicroArch::TigerLake, &victim, &exp, &cfg, 0xf4).expect("trace");
+    let trace = rsa::collect_trace(MicroArch::TigerLake, &victim, &exp, &cfg, 0xf4).expect("trace");
     let mut t = Table::new(&["sample", "min timing", "activity"]);
     for (i, sample) in trace.samples.iter().enumerate().take(400) {
         t.row(vec![s(i), s(sample.min_timing), s(if sample.active { "*" } else { "" })]);
@@ -234,8 +254,10 @@ pub fn fig4(mode: Mode) {
 pub struct Fig5Row {
     /// Probe class.
     pub kind: ProbeKind,
-    /// Single-trace recovery rate.
+    /// Single-trace recovery rate (aligned scoring).
     pub single_trace: f64,
+    /// Single-trace recovery rate (positional scoring).
+    pub positional_single: f64,
     /// Traces needed for 70% (None = not reached within the budget).
     pub traces_for_70: Option<usize>,
     /// Best recovery achieved.
@@ -249,15 +271,11 @@ pub fn fig5(mode: Mode) -> Vec<Fig5Row> {
     let max_traces = mode.pick(12, 25);
     let mut rng = SmallRng::seed_from_u64(0xf5);
     let exp = Bignum::random_bits(&mut rng, bits);
-    let mut rows = Vec::new();
-    let mut t = Table::new(&[
-        "probe",
-        "single-trace (aligned)",
-        "single-trace (positional)",
-        "traces for 70% (aligned)",
-        "best (aligned)",
-    ]);
-    for kind in [ProbeKind::Flush, ProbeKind::Store, ProbeKind::Lock, ProbeKind::Clwb] {
+    let kinds = [ProbeKind::Flush, ProbeKind::Store, ProbeKind::Lock, ProbeKind::Clwb];
+    // One trial per probe class; each trial's trace sequence keeps its
+    // sequential early-exit semantics (stop at the first 70% vote).
+    let rows: Vec<Fig5Row> = Runner::from_env().run(kinds.len(), |ki| {
+        let kind = kinds[ki];
         let cfg = RsaAttackConfig::new(kind);
         let victim = rsa::build_victim(&cfg);
         let mut decodes: Vec<Vec<bool>> = Vec::new();
@@ -265,9 +283,14 @@ pub fn fig5(mode: Mode) -> Vec<Fig5Row> {
         let mut positional_single = 0.0;
         let mut used = None;
         for trace_idx in 0..max_traces {
-            let trace =
-                rsa::collect_trace(MicroArch::TigerLake, &victim, &exp, &cfg, 2_000 + trace_idx as u64)
-                    .expect("attack runs");
+            let trace = rsa::collect_trace(
+                MicroArch::TigerLake,
+                &victim,
+                &exp,
+                &cfg,
+                2_000 + trace_idx as u64,
+            )
+            .expect("attack runs");
             let decoded = rsa::decode_trace(&trace, exp.bit_len());
             if trace_idx == 0 {
                 positional_single = rsa::score_bits(&decoded, &exp);
@@ -283,14 +306,23 @@ pub fn fig5(mode: Mode) -> Vec<Fig5Row> {
         }
         let single = aligned_rates.first().copied().unwrap_or(0.0);
         let best = aligned_rates.iter().cloned().fold(0.0f64, f64::max);
+        Fig5Row { kind, single_trace: single, positional_single, traces_for_70: used, best }
+    });
+    let mut t = Table::new(&[
+        "probe",
+        "single-trace (aligned)",
+        "single-trace (positional)",
+        "traces for 70% (aligned)",
+        "best (aligned)",
+    ]);
+    for row in &rows {
         t.row(vec![
-            s(kind),
-            f(single, 3),
-            f(positional_single, 3),
-            used.map_or_else(|| format!(">{max_traces}"), |u| u.to_string()),
-            f(best, 3),
+            s(row.kind),
+            f(row.single_trace, 3),
+            f(row.positional_single, 3),
+            row.traces_for_70.map_or_else(|| format!(">{max_traces}"), |u| u.to_string()),
+            f(row.best, 3),
         ]);
-        rows.push(Fig5Row { kind, single_trace: single, traces_for_70: used, best });
     }
     t.print();
     t.write_csv("fig5");
@@ -313,33 +345,45 @@ pub struct Table2Row {
     pub mastik: f64,
 }
 
+/// The Table 2 measurement grid: every (group size, key) cell is one
+/// independent trial, fanned out over `runner` and averaged per group.
+/// Exposed so tests can check parallel/sequential result equality.
+pub fn table2_rows(mode: Mode, runner: &Runner) -> Vec<Table2Row> {
+    let keys = mode.pick(3, 100);
+    let exp_bits = mode.pick(160, 0); // 0 = full group size
+    let groups = smack_crypto::SrpGroup::PAPER_SIZES;
+    let cells = runner.run(groups.len() * keys, |t| {
+        let (group, key) = (groups[t / keys], t % keys);
+        let mut rng = SmallRng::seed_from_u64(0x7b + key as u64);
+        let nbits = if exp_bits == 0 { group } else { exp_bits };
+        let b = Bignum::random_bits(&mut rng, nbits);
+        let cfg = SrpAttackConfig { noise: NoiseConfig::noisy(), ..SrpAttackConfig::new(group) };
+        let out = srp::single_trace_attack(MicroArch::TigerLake, &b, &cfg, key as u64)
+            .expect("smc attack runs");
+        (out.leakage, mastik_srp_leakage(group, &b, key as u64))
+    });
+    groups
+        .iter()
+        .zip(cells.chunks(keys))
+        .map(|(group, chunk)| Table2Row {
+            group_bits: *group,
+            smack: chunk.iter().map(|c| c.0).sum::<f64>() / keys as f64,
+            mastik: chunk.iter().map(|c| c.1).sum::<f64>() / keys as f64,
+        })
+        .collect()
+}
+
 /// Table 2: SRP single-trace leakage, Prime+iStore vs Mastik.
 pub fn table2(mode: Mode) -> Vec<Table2Row> {
     banner("Table 2 — SRP single-trace leakage per group size (Tiger Lake)");
-    let keys = mode.pick(3, 100);
-    let exp_bits = mode.pick(160, 0); // 0 = full group size
-    let mut rows = Vec::new();
+    let rows = table2_rows(mode, &Runner::from_env());
     let mut t = Table::new(&["group size", "Prime+iStore", "Mastik (PnP)"]);
-    for group in smack_crypto::SrpGroup::PAPER_SIZES {
-        let mut smack_sum = 0.0;
-        let mut mastik_sum = 0.0;
-        for key in 0..keys {
-            let mut rng = SmallRng::seed_from_u64(0x7b + key as u64);
-            let nbits = if exp_bits == 0 { group } else { exp_bits };
-            let b = Bignum::random_bits(&mut rng, nbits);
-            let cfg = SrpAttackConfig { noise: NoiseConfig::noisy(), ..SrpAttackConfig::new(group) };
-            let out = srp::single_trace_attack(MicroArch::TigerLake, &b, &cfg, key as u64)
-                .expect("smc attack runs");
-            smack_sum += out.leakage;
-            mastik_sum += mastik_srp_leakage(group, &b, key as u64);
-        }
-        let row = Table2Row {
-            group_bits: group,
-            smack: smack_sum / keys as f64,
-            mastik: mastik_sum / keys as f64,
-        };
-        t.row(vec![s(group), f(row.smack * 100.0, 0) + "%", f(row.mastik * 100.0, 0) + "%"]);
-        rows.push(row);
+    for row in &rows {
+        t.row(vec![
+            s(row.group_bits),
+            f(row.smack * 100.0, 0) + "%",
+            f(row.mastik * 100.0, 0) + "%",
+        ]);
     }
     t.print();
     t.write_csv("table2");
@@ -350,6 +394,31 @@ pub fn table2(mode: Mode) -> Vec<Table2Row> {
          noise."
     );
     rows
+}
+
+/// Collect the §6.1 dataset with every workload run as its own trial —
+/// the parallel equivalent of `smack_detection::collect_dataset`, built
+/// on the same [`smack_detection::dataset_units`] (identical workloads
+/// and seeds, so the dataset is identical).
+fn collect_detection_dataset(
+    arch: MicroArch,
+    cfg: &smack_detection::DetectionConfig,
+) -> (Vec<smack_detection::CounterDelta>, Vec<smack_detection::CounterDelta>) {
+    let units = smack_detection::dataset_units();
+    let windows = Runner::from_env().run(units.len(), |i| {
+        smack_detection::collect_unit(arch, units[i], cfg).expect("dataset unit collects")
+    });
+    let mut benign = Vec::new();
+    let mut attacks = Vec::new();
+    for (unit, w) in units.iter().zip(windows) {
+        let Some(w) = w else { continue };
+        if unit.is_benign() {
+            benign.extend(w);
+        } else {
+            attacks.extend(w);
+        }
+    }
+    (benign, attacks)
 }
 
 /// Run the Mastik baseline against the SRP victim; returns the leakage.
@@ -396,7 +465,8 @@ pub fn fig6(mode: Mode) {
             n => format!("1{}1 (+zeros)", "X".repeat((n as usize).saturating_sub(1).min(5))),
         }
     };
-    let mut t = Table::new(&["mult #", "event clock", "measured squares", "pattern", "truth squares"]);
+    let mut t =
+        Table::new(&["mult #", "event clock", "measured squares", "pattern", "truth squares"]);
     for (i, at) in events.iter().enumerate().take(60) {
         let m = measured.get(i.wrapping_sub(1)).copied();
         let tr = truth.get(i.wrapping_sub(1)).map(|x| x.squares);
@@ -427,14 +497,21 @@ pub fn table3(mode: Mode) -> Vec<(MicroArch, Vec<Applicability>)> {
     let names: Vec<String> = MicroArch::ALL.iter().map(|a| a.name().to_owned()).collect();
     header.extend(names.iter().map(|n| n.as_str()));
     let mut t = Table::new(&header);
-    let mut per_arch: Vec<(MicroArch, Vec<Applicability>)> =
-        MicroArch::ALL.iter().map(|a| (*a, Vec::new())).collect();
-    for kind in ProbeKind::ALL {
+    // One trial per microarchitecture, each sweeping all probe classes.
+    let columns = Runner::from_env().run(MicroArch::ALL.len(), |i| {
+        ProbeKind::ALL
+            .iter()
+            .map(|kind| {
+                applicability(MicroArch::ALL[i], *kind, 0x7ab3).unwrap_or(Applicability::NoLeak)
+            })
+            .collect::<Vec<Applicability>>()
+    });
+    let per_arch: Vec<(MicroArch, Vec<Applicability>)> =
+        MicroArch::ALL.iter().copied().zip(columns).collect();
+    for (ki, kind) in ProbeKind::ALL.iter().enumerate() {
         let mut row = vec![s(kind)];
-        for (i, arch) in MicroArch::ALL.iter().enumerate() {
-            let a = applicability(*arch, kind, 0x7ab3).unwrap_or(Applicability::NoLeak);
-            row.push(a.symbol().to_owned());
-            per_arch[i].1.push(a);
+        for (_, col) in &per_arch {
+            row.push(col[ki].symbol().to_owned());
         }
         t.row(row);
     }
@@ -467,7 +544,8 @@ pub struct Table4Row {
 pub fn table4(mode: Mode) -> Vec<Table4Row> {
     banner("Table 4 — ISpectre leakage rates (B/s)");
     let secret_len = mode.pick(8, 64);
-    let secret: Vec<u8> = (0..secret_len).map(|i| (i as u8).wrapping_mul(73).wrapping_add(19)).collect();
+    let secret: Vec<u8> =
+        (0..secret_len).map(|i| (i as u8).wrapping_mul(73).wrapping_add(19)).collect();
     let kinds = [
         ProbeKind::Flush,
         ProbeKind::FlushOpt,
@@ -476,24 +554,28 @@ pub fn table4(mode: Mode) -> Vec<Table4Row> {
         ProbeKind::Prefetch,
         ProbeKind::Clwb,
     ];
+    let arches = [MicroArch::CascadeLake, MicroArch::AmdRyzen5];
+    // One trial per (processor, probe) cell.
+    let cells = Runner::from_env().run(arches.len() * kinds.len(), |t| {
+        let (arch, kind) = (arches[t / kinds.len()], kinds[t % kinds.len()]);
+        let cfg = ISpectreConfig::new(kind);
+        (arch, kind, leak_secret(arch, &secret, &cfg, 0x7ab4))
+    });
     let mut rows = Vec::new();
     let mut t = Table::new(&["processor", "probe", "B/s", "success (%)"]);
-    for arch in [MicroArch::CascadeLake, MicroArch::AmdRyzen5] {
-        for kind in kinds {
-            let cfg = ISpectreConfig::new(kind);
-            match leak_secret(arch, &secret, &cfg, 0x7ab4) {
-                Ok(r) if r.success_rate >= 0.5 => {
-                    t.row(vec![s(arch), s(kind), f(r.bytes_per_s, 0), f(r.success_rate * 100.0, 1)]);
-                    rows.push(Table4Row {
-                        arch,
-                        kind,
-                        bytes_per_s: r.bytes_per_s,
-                        success: r.success_rate,
-                    });
-                }
-                _ => {
-                    t.row(vec![s(arch), s(kind), s("N/A"), s("N/A")]);
-                }
+    for (arch, kind, outcome) in cells {
+        match outcome {
+            Ok(r) if r.success_rate >= 0.5 => {
+                t.row(vec![s(arch), s(kind), f(r.bytes_per_s, 0), f(r.success_rate * 100.0, 1)]);
+                rows.push(Table4Row {
+                    arch,
+                    kind,
+                    bytes_per_s: r.bytes_per_s,
+                    success: r.success_rate,
+                });
+            }
+            _ => {
+                t.row(vec![s(arch), s(kind), s("N/A"), s("N/A")]);
             }
         }
     }
@@ -515,8 +597,7 @@ pub fn table5(mode: Mode) -> Vec<smack_detection::DetectionReport> {
         windows_per_run: mode.pick(6, 14),
         noise: NoiseConfig::realistic(),
     };
-    let (benign, attacks) =
-        smack_detection::collect_dataset(MicroArch::CascadeLake, &cfg).expect("dataset collects");
+    let (benign, attacks) = collect_detection_dataset(MicroArch::CascadeLake, &cfg);
     let mut t = Table::new(&["feature set", "accuracy", "F1", "FPR"]);
     let mut out = Vec::new();
     for fs in smack_detection::FeatureSet::ALL {

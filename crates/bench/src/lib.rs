@@ -25,6 +25,7 @@
 pub mod ablations;
 pub mod experiments;
 pub mod report;
+pub mod runner;
 
 /// Run mode for the harnesses.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]

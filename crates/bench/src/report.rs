@@ -2,6 +2,7 @@
 
 use std::fmt::Display;
 use std::fs;
+use std::io;
 use std::path::PathBuf;
 
 /// A simple markdown-ish table printer.
@@ -47,9 +48,25 @@ impl Table {
         }
     }
 
-    /// Write as CSV under `target/repro/<name>.csv`.
+    /// Write as CSV under `target/repro/<name>.csv`, reporting (but not
+    /// aborting on) I/O failures — a harness run's printed tables are
+    /// still useful when the filesystem is read-only.
     pub fn write_csv(&self, name: &str) {
-        let path = repro_path(name);
+        match self.try_write_csv(name) {
+            Ok(path) => println!("[csv] {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {name}.csv: {e}"),
+        }
+    }
+
+    /// Write as CSV under `target/repro/<name>.csv`, returning the path
+    /// written or the underlying I/O error (directory creation included).
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from creating `target/repro/` or writing the
+    /// file.
+    pub fn try_write_csv(&self, name: &str) -> io::Result<PathBuf> {
+        let path = repro_path(name)?;
         let mut out = String::new();
         out.push_str(&self.header.join(","));
         out.push('\n');
@@ -57,22 +74,25 @@ impl Table {
             out.push_str(&row.join(","));
             out.push('\n');
         }
-        if let Err(e) = fs::write(&path, out) {
-            eprintln!("warning: could not write {}: {e}", path.display());
-        } else {
-            println!("[csv] {}", path.display());
-        }
+        fs::write(&path, out)?;
+        Ok(path)
     }
 }
 
-/// Location of the CSV output directory (`target/repro/`).
-pub fn repro_path(name: &str) -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned()),
-    )
-    .join("repro");
-    let _ = fs::create_dir_all(&dir);
-    dir.join(format!("{name}.csv"))
+/// Location of a CSV in the output directory (`target/repro/`), creating
+/// the directory if needed.
+///
+/// # Errors
+///
+/// Propagates the `create_dir_all` failure instead of swallowing it — a
+/// missing `target/repro/` must not silently drop every CSV.
+pub fn repro_path(name: &str) -> io::Result<PathBuf> {
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned()))
+            .join("repro");
+    fs::create_dir_all(&dir)
+        .map_err(|e| io::Error::new(e.kind(), format!("creating {}: {e}", dir.display())))?;
+    Ok(dir.join(format!("{name}.csv")))
 }
 
 /// Format a float with the given precision.

@@ -1,0 +1,153 @@
+//! Parallel trial execution for the experiment harnesses.
+//!
+//! Every experiment in this crate decomposes into *independent trials*
+//! (one simulated machine per trial, seeded explicitly), so they
+//! parallelize trivially: the runner fans trials out across worker
+//! threads and returns results **in trial order**, which — because each
+//! trial derives its RNG seed from its own index, never from shared
+//! state — makes parallel output bit-identical to sequential output.
+//!
+//! The worker count comes from `SMACK_BENCH_THREADS` (set it to `1` to
+//! benchmark the sequential baseline) and defaults to the machine's
+//! available parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A pool configuration for running independent trials.
+#[derive(Copy, Clone, Debug)]
+pub struct Runner {
+    threads: usize,
+}
+
+impl Runner {
+    /// A runner with an explicit worker count (at least one).
+    pub fn with_threads(threads: usize) -> Runner {
+        Runner { threads: threads.max(1) }
+    }
+
+    /// A sequential runner (one worker, running inline).
+    pub fn sequential() -> Runner {
+        Runner::with_threads(1)
+    }
+
+    /// The standard runner: `SMACK_BENCH_THREADS` if set and valid,
+    /// otherwise the machine's available parallelism.
+    pub fn from_env() -> Runner {
+        let threads = std::env::var("SMACK_BENCH_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|n| *n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        Runner::with_threads(threads)
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(0..n)` and collect the results in index order.
+    ///
+    /// `f` must derive any randomness from the trial index (or from data
+    /// captured before the call), so the result for index `i` is the same
+    /// no matter which worker runs it or in what order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any trial.
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n);
+        if workers == 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let out = f(i);
+                        slots.lock().expect("runner lock poisoned")[i] = Some(out);
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Err(panic) = h.join() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        });
+        slots
+            .into_inner()
+            .expect("runner lock poisoned")
+            .into_iter()
+            .map(|s| s.expect("every trial index was visited"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_trial_order() {
+        let r = Runner::with_threads(4);
+        let out = r.run(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9e37_79b9).rotate_left(13);
+        let seq = Runner::sequential().run(257, f);
+        let par = Runner::with_threads(8).run(257, f);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = Runner::with_threads(3).run(50, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+        assert_eq!(out.iter().copied().collect::<HashSet<_>>().len(), 50);
+    }
+
+    #[test]
+    fn zero_trials_is_empty() {
+        assert!(Runner::from_env().run(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn thread_count_floors_at_one() {
+        assert_eq!(Runner::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "trial 7 exploded")]
+    fn trial_panics_propagate() {
+        Runner::with_threads(4).run(16, |i| {
+            if i == 7 {
+                panic!("trial 7 exploded");
+            }
+            i
+        });
+    }
+}

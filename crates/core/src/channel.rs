@@ -15,7 +15,9 @@
 //! Transmission is slot-synchronized on the shared TSC: the receiver takes
 //! a few samples per bit slot and decodes `1` if any sample shows activity.
 
-use smack_uarch::{Addr, Machine, NoiseConfig, Placement, ProbeKind, SmcBehavior, StepError, ThreadId};
+use smack_uarch::{
+    Addr, Machine, NoiseConfig, Placement, ProbeKind, SmcBehavior, StepError, ThreadId,
+};
 
 use crate::calibrate::calibrate_with_cold;
 use crate::oracle::{EvictionSet, OraclePage};
@@ -142,7 +144,7 @@ pub struct TracePoint {
 }
 
 /// Outcome of one covert-channel run.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ChannelReport {
     /// Channel name (paper row label).
     pub name: String,
@@ -218,33 +220,32 @@ pub fn run_channel(
         .map_err(step)?;
 
     // --- measure one idle sample to size the bit slot ----------------------
-    let sample_probe = |machine: &mut Machine,
-                        prober: &mut Prober|
-     -> Result<(u64, bool), StepError> {
-        match spec.family {
-            ChannelFamily::PrimeProbe => {
-                let ev = evset.as_ref().expect("prime+probe has an eviction set");
-                ev.prime(machine, prober)?;
-                prober.wait(machine, spec.wait_cycles)?;
-                let timings = ev.probe(machine, prober, spec.kind)?;
-                // Activity = at least one way did NOT conflict (it was
-                // evicted by the sender's fetch).
-                let misses = timings.iter().filter(|t| !cal.is_hit(**t)).count();
-                let min = *timings.iter().min().expect("nonempty ways");
-                Ok((min, misses >= 1))
-            }
-            ChannelFamily::FlushReload => {
-                let t = prober.measure(machine, spec.kind, target)?.cycles;
-                // Prefetch-based reloads need an explicit flush afterwards
-                // (paper: prefetch requires clflush before the next round).
-                if matches!(spec.kind, ProbeKind::Prefetch | ProbeKind::PrefetchNta) {
-                    prober.flush_line(machine, target)?;
+    let sample_probe =
+        |machine: &mut Machine, prober: &mut Prober| -> Result<(u64, bool), StepError> {
+            match spec.family {
+                ChannelFamily::PrimeProbe => {
+                    let ev = evset.as_ref().expect("prime+probe has an eviction set");
+                    ev.prime(machine, prober)?;
+                    prober.wait(machine, spec.wait_cycles)?;
+                    let timings = ev.probe(machine, prober, spec.kind)?;
+                    // Activity = at least one way did NOT conflict (it was
+                    // evicted by the sender's fetch).
+                    let misses = timings.iter().filter(|t| !cal.is_hit(**t)).count();
+                    let min = *timings.iter().min().expect("nonempty ways");
+                    Ok((min, misses >= 1))
                 }
-                prober.wait(machine, spec.wait_cycles)?;
-                Ok((t, cal.is_hit(t)))
+                ChannelFamily::FlushReload => {
+                    let t = prober.measure(machine, spec.kind, target)?.cycles;
+                    // Prefetch-based reloads need an explicit flush afterwards
+                    // (paper: prefetch requires clflush before the next round).
+                    if matches!(spec.kind, ProbeKind::Prefetch | ProbeKind::PrefetchNta) {
+                        prober.flush_line(machine, target)?;
+                    }
+                    prober.wait(machine, spec.wait_cycles)?;
+                    Ok((t, cal.is_hit(t)))
+                }
             }
-        }
-    };
+        };
 
     let t0 = machine.clock(RECEIVER);
     let (_, _) = sample_probe(machine, &mut prober).map_err(step)?;
@@ -256,8 +257,9 @@ pub fn run_channel(
         ChannelFamily::PrimeProbe => machine.l1i_ways() as u64,
         ChannelFamily::FlushReload => 1,
     };
-    let stall_allowance =
-        spec.samples_per_bit as u64 * clears_per_sample * machine.profile().clear.sibling_stall as u64;
+    let stall_allowance = spec.samples_per_bit as u64
+        * clears_per_sample
+        * machine.profile().clear.sibling_stall as u64;
     let bit_period = sample_cost * spec.samples_per_bit as u64 + sample_cost / 2 + stall_allowance;
     // Spread the sender's N_l executions across the whole slot so that
     // every receiver prime→wait window overlaps at least one of them.
@@ -293,10 +295,7 @@ pub fn run_channel(
                 // boundary so a late fetch cannot bleed into the next bit.
                 if *bit && sent < spec.loads_per_one && sc + sample_cost < slot_end {
                     machine
-                        .run_sequence(
-                            SENDER,
-                            &[smack_uarch::isa::Instr::Call { target: target.0 }],
-                        )
+                        .run_sequence(SENDER, &[smack_uarch::isa::Instr::Call { target: target.0 }])
                         .map_err(step)?;
                     machine.advance(SENDER, sender_gap).map_err(step)?;
                     sent += 1;
@@ -318,9 +317,7 @@ pub fn run_channel(
                     }
                     Phase::Wait { until, started_at } => {
                         if rc < until {
-                            machine
-                                .advance(RECEIVER, (until - rc).min(150))
-                                .map_err(step)?;
+                            machine.advance(RECEIVER, (until - rc).min(150)).map_err(step)?;
                         } else {
                             phase = Phase::Measure { started_at };
                         }
@@ -331,18 +328,14 @@ pub fn run_channel(
                                 let ev = evset.as_ref().expect("eviction set");
                                 let timings =
                                     ev.probe(machine, &mut prober, spec.kind).map_err(step)?;
-                                let misses =
-                                    timings.iter().filter(|t| !cal.is_hit(**t)).count();
+                                let misses = timings.iter().filter(|t| !cal.is_hit(**t)).count();
                                 let min = *timings.iter().min().expect("nonempty");
                                 (min, misses >= 1)
                             }
                             ChannelFamily::FlushReload => {
-                                let t =
-                                    prober.measure(machine, spec.kind, target).map_err(step)?;
-                                if matches!(
-                                    spec.kind,
-                                    ProbeKind::Prefetch | ProbeKind::PrefetchNta
-                                ) {
+                                let t = prober.measure(machine, spec.kind, target).map_err(step)?;
+                                if matches!(spec.kind, ProbeKind::Prefetch | ProbeKind::PrefetchNta)
+                                {
                                     prober.flush_line(machine, target).map_err(step)?;
                                 }
                                 (t.cycles, cal.is_hit(t.cycles))
@@ -451,9 +444,8 @@ mod tests {
     fn trace_recording_collects_samples() {
         let mut m = Machine::new(MicroArch::TigerLake.profile());
         let payload = vec![true, false, true, true, false];
-        let r =
-            run_channel(&mut m, &ChannelSpec::prime_probe(ProbeKind::Store), &payload, true)
-                .unwrap();
+        let r = run_channel(&mut m, &ChannelSpec::prime_probe(ProbeKind::Store), &payload, true)
+            .unwrap();
         assert!(r.trace.len() >= payload.len(), "at least one sample per slot");
         assert_eq!(r.decoded.len(), payload.len());
     }

@@ -187,11 +187,7 @@ mod tests {
 
     const T0: ThreadId = ThreadId::T0;
 
-    fn cell<'a>(
-        cells: &'a [Figure1Cell],
-        kind: ProbeKind,
-        state: Placement,
-    ) -> &'a Figure1Cell {
+    fn cell(cells: &[Figure1Cell], kind: ProbeKind, state: Placement) -> &Figure1Cell {
         cells
             .iter()
             .find(|c| c.kind == kind && c.state == state)

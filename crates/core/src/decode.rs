@@ -1,19 +1,21 @@
 //! Shared trace-decoding utilities for the RSA and SRP attacks.
 //!
 //! Both attacks observe the victim's multiply routine through eviction
-//! events. Two microarchitectural facts shape the event stream:
+//! events. Two microarchitectural facts shape the sample stream:
 //!
-//! 1. Every multiplication produces a *doublet*: the fetch at the call, and
-//!    a refetch when the victim's pipeline resumes after the attacker's
-//!    machine clear evicted the line mid-operation. The two bursts are one
-//!    operation apart.
+//! 1. The multiply routine *executes continuously* for the whole
+//!    multiplication (its inner loop keeps refetching its own code line),
+//!    so every attacker sample whose prime→probe window overlaps a
+//!    multiplication reads as active: one multiplication = one contiguous
+//!    **burst** of active samples (the paper's Figure 4 dips).
 //! 2. Squares and multiplies cost the same Montgomery-multiplication time,
-//!    so all event spacings are near-integer multiples of one operation.
+//!    so burst start-to-start distances are near-integer multiples of one
+//!    operation — and always at least two (a multiply is always followed
+//!    by at least one square before the next multiply).
 //!
-//! The decoder therefore self-calibrates: the *modal* inter-event gap is
-//! exactly the one-operation unit (the doublet guarantees this mode), then
-//! events within ~1.5 units collapse into per-multiply clusters, and the
-//! gaps between cluster starts count operations.
+//! The decoder therefore self-calibrates: the median burst *length* is a
+//! first estimate of the one-operation unit (a multiplication spans one
+//! operation), refined by comb-fitting the start-to-start gaps.
 
 /// Indices of activity-burst starts (consecutive active samples form one
 /// burst).
@@ -29,245 +31,152 @@ pub fn burst_starts(actives: &[bool]) -> Vec<usize> {
     events
 }
 
-/// The most common inter-event gap — the one-operation unit, thanks to the
-/// refetch doublet. Returns `None` for fewer than two events.
-pub fn modal_gap(events: &[usize]) -> Option<f64> {
-    if events.len() < 2 {
-        return None;
-    }
-    let mut counts = std::collections::HashMap::new();
-    for w in events.windows(2) {
-        *counts.entry(w[1] - w[0]).or_insert(0usize) += 1;
-    }
-    counts
-        .into_iter()
-        .max_by_key(|(gap, count)| (*count, std::cmp::Reverse(*gap)))
-        .map(|(gap, _)| gap.max(1) as f64)
-}
-
-/// Estimate the one-operation unit by comb fitting: every gap should be a
-/// near-integer multiple of the unit. Candidates are fractions of the
-/// smallest gap (`g_min / k`); each is refined by a weighted average and
-/// scored by the mean distance of `gap / unit` from the nearest integer.
-///
-/// This handles both regimes: when the refetch doublet is resolvable the
-/// smallest gap *is* one unit (`k = 1` wins); when one operation is around
-/// one sample, odd/even gap structure selects the right divisor.
-pub fn estimate_unit(events: &[usize]) -> Option<f64> {
-    if events.len() < 2 {
-        return None;
-    }
-    let gaps: Vec<f64> = events.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
-    let g_min = gaps.iter().cloned().fold(f64::MAX, f64::min).max(1.0);
-    // Sample quantization makes `unit = 1` fit any integer gap sequence
-    // perfectly, so minimal error alone is degenerate: prefer the LARGEST
-    // unit whose comb error is acceptable, falling back to minimal error.
-    const ACCEPTABLE_ERR: f64 = 0.17;
-    let mut fallback: Option<(f64, f64)> = None; // (error, unit)
-    for k in 1..=6u32 {
-        let mut unit = g_min / k as f64;
-        if unit < 0.9 {
-            break;
-        }
-        // Refine: least-squares-style weighted average over assumed
-        // multiplicities.
-        for _ in 0..3 {
-            let mut num = 0.0;
-            let mut den = 0.0;
-            for g in &gaps {
-                let m = (g / unit).round().max(1.0);
-                num += g;
-                den += m;
-            }
-            unit = num / den;
-        }
-        let err = gaps
-            .iter()
-            .map(|g| {
-                let r = g / unit;
-                (r - r.round()).abs()
-            })
-            .sum::<f64>()
-            / gaps.len() as f64;
-        if err < ACCEPTABLE_ERR {
-            return Some(unit);
-        }
-        if fallback.map_or(true, |(e, _)| err < e) {
-            fallback = Some((err, unit));
-        }
-    }
-    fallback.map(|(_, u)| u)
-}
-
-/// Collapse events into clusters: a new cluster starts when the gap from
-/// the previous event exceeds `threshold` (in samples). Returns cluster
-/// start indices.
-pub fn cluster_starts(events: &[usize], threshold: f64) -> Vec<usize> {
-    let mut out = Vec::new();
-    let mut prev: Option<usize> = None;
-    for e in events {
-        match prev {
-            Some(p) if (*e - p) as f64 <= threshold => {}
-            _ => out.push(*e),
-        }
-        prev = Some(*e);
-    }
-    out
-}
-
-/// Per-cluster operation counts: `round(gap / unit)` operations between
-/// consecutive cluster starts.
-pub fn ops_between_clusters(clusters: &[usize], unit: f64) -> Vec<u32> {
-    clusters
-        .windows(2)
-        .map(|w| (((w[1] - w[0]) as f64) / unit).round().max(1.0) as u32)
-        .collect()
-}
-
-/// Full pipeline: burst extraction, unit estimation, clustering. Returns
-/// `(cluster_starts, unit)` or `None` when fewer than two events exist.
-pub fn extract_clusters(actives: &[bool]) -> Option<(Vec<usize>, f64)> {
-    let events = burst_starts(actives);
-    let unit = estimate_unit(&events)?;
-    let clusters = cluster_starts(&events, 1.55 * unit);
-    Some((clusters, unit))
-}
-
-/// A maximal run of events spaced at most ~1.5 units apart.
-///
-/// Chains carry structure: every multiply emits a *call* fetch and (after
-/// the attacker's machine clear evicted the line mid-operation) a *ret*
-/// refetch one unit later — so an isolated multiply is a 2-event chain, and
-/// `k` back-to-back multiplies (adjacent set bits / width-1 windows) are a
-/// `2k`-event chain at uniform unit spacing.
+/// A maximal run of consecutive active samples — one multiplication.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
-pub struct Chain {
-    /// Sample index of the first event (the first multiply's call fetch).
+pub struct Burst {
+    /// Sample index of the first active sample.
     pub first: usize,
-    /// Sample index of the last event (the last multiply's ret refetch).
+    /// Sample index of the last active sample.
     pub last: usize,
-    /// Number of events in the chain.
-    pub events: usize,
 }
 
-impl Chain {
-    /// Multiplications represented by this chain (call/ret event pairs,
-    /// rounding up for a lost event).
-    pub fn multiplies(&self) -> usize {
-        self.events.div_ceil(2)
+impl Burst {
+    /// Burst length in samples (always at least one).
+    #[allow(clippy::len_without_is_empty)] // a burst contains >= 1 sample
+    pub fn len(&self) -> usize {
+        self.last - self.first + 1
     }
 }
 
-/// Group events into [`Chain`]s with the given spacing threshold.
-pub fn chains(events: &[usize], threshold: f64) -> Vec<Chain> {
-    let mut out: Vec<Chain> = Vec::new();
-    for e in events {
+/// Extract activity bursts, bridging single-sample dropouts (a sample
+/// whose prime→probe window happened to miss the victim's refetch).
+pub fn bursts(actives: &[bool]) -> Vec<Burst> {
+    let mut out: Vec<Burst> = Vec::new();
+    for (i, a) in actives.iter().enumerate() {
+        if !*a {
+            continue;
+        }
         match out.last_mut() {
-            Some(c) if (*e - c.last) as f64 <= threshold => {
-                c.last = *e;
-                c.events += 1;
-            }
-            _ => out.push(Chain { first: *e, last: *e, events: 1 }),
+            Some(b) if i - b.last <= 2 => b.last = i,
+            _ => out.push(Burst { first: i, last: i }),
         }
     }
     out
 }
 
-/// Full chain pipeline: burst extraction, unit estimation, chaining.
-pub fn extract_chains(actives: &[bool]) -> Option<(Vec<Chain>, f64)> {
-    let events = burst_starts(actives);
-    let unit = estimate_unit(&events)?;
-    Some((chains(&events, 1.55 * unit), unit))
+/// Estimate the one-operation unit (in samples) from the bursts.
+///
+/// Seed: the median burst length (a multiplication spans one operation).
+/// Refine: three rounds of weighted comb fitting against the *inactive*
+/// gaps between bursts, whose lengths are near-integer unit multiples.
+/// Inactive gaps are used (rather than start-to-start distances) because
+/// they stay correct even when a burst's leading samples are clipped —
+/// e.g. the trace-start transient around the very first multiplication.
+pub fn estimate_unit(bursts: &[Burst]) -> Option<f64> {
+    if bursts.is_empty() {
+        return None;
+    }
+    let mut lens: Vec<f64> = bursts.iter().map(|b| b.len() as f64).collect();
+    lens.sort_by(|a, b| a.partial_cmp(b).expect("lengths are finite"));
+    let mut unit = lens[lens.len() / 2].max(1.0);
+    let gaps: Vec<f64> = inactive_gaps(bursts);
+    if gaps.is_empty() {
+        return Some(unit);
+    }
+    for _ in 0..3 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for g in &gaps {
+            let m = (g / unit).round().max(1.0);
+            num += g;
+            den += m;
+        }
+        unit = num / den;
+    }
+    Some(unit)
+}
+
+/// The inactive stretches between consecutive bursts, in samples.
+fn inactive_gaps(bursts: &[Burst]) -> Vec<f64> {
+    bursts.windows(2).map(|w| (w[1].first - w[0].last - 1) as f64).collect()
+}
+
+/// Operations between consecutive multiplies: the inactive gap spans the
+/// squares (`round(gap / unit)`, at least one) and the multiply itself
+/// adds one more.
+pub fn ops_between_bursts(bursts: &[Burst], unit: f64) -> Vec<u32> {
+    inactive_gaps(bursts).into_iter().map(|g| ((g / unit).round() as u32).max(1) + 1).collect()
+}
+
+/// Full pipeline: burst extraction and unit estimation. Returns `None`
+/// when fewer than two bursts exist (no gap structure to decode).
+pub fn extract_bursts(actives: &[bool]) -> Option<(Vec<Burst>, f64)> {
+    let bs = bursts(actives);
+    if bs.len() < 2 {
+        return None;
+    }
+    let unit = estimate_unit(&bs)?;
+    Some((bs, unit))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn actives_from_events(events: &[usize], len: usize) -> Vec<bool> {
-        let mut v = vec![false; len];
-        for e in events {
-            v[*e] = true;
+    /// Lay out bursts of `len` units at the given op offsets, `spp`
+    /// samples per op.
+    fn actives_from_ops(mult_ops: &[usize], total_ops: usize, spp: usize) -> Vec<bool> {
+        let mut v = vec![false; total_ops * spp + spp];
+        for m in mult_ops {
+            for s in 0..spp {
+                v[m * spp + s] = true;
+            }
         }
         v
     }
 
     #[test]
     fn burst_extraction_merges_consecutive() {
-        let a = [false, true, true, false, true, false, false, true];
-        assert_eq!(burst_starts(&a), vec![1, 4, 7]);
+        let a = [false, true, true, false, false, false, true, false];
+        assert_eq!(burst_starts(&a), vec![1, 6]);
+        let bs = bursts(&a);
+        assert_eq!(bs, vec![Burst { first: 1, last: 2 }, Burst { first: 6, last: 6 }]);
+        assert_eq!(bs[0].len(), 2);
     }
 
     #[test]
-    fn modal_gap_finds_doublet_unit() {
-        // Doublets at unit 5: events at 0,5 20,25 45,50.
-        let events = vec![0, 5, 20, 25, 45, 50];
-        assert_eq!(modal_gap(&events), Some(5.0));
-        assert_eq!(modal_gap(&[3]), None);
+    fn bursts_bridge_single_dropouts() {
+        // One mul with a mid-burst dropout at index 3.
+        let a = [false, true, true, false, true, true, false, false, false, true];
+        let bs = bursts(&a);
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs[0], Burst { first: 1, last: 5 });
     }
 
     #[test]
-    fn clustering_folds_doublets() {
-        let events = vec![0, 5, 20, 25, 45, 50];
-        let clusters = cluster_starts(&events, 1.55 * 5.0);
-        assert_eq!(clusters, vec![0, 20, 45]);
-        // Ops between clusters at unit 5: 4 and 5 operations.
-        assert_eq!(ops_between_clusters(&clusters, 5.0), vec![4, 5]);
+    fn unit_from_burst_lengths_and_gaps() {
+        // Multiplies at ops 0, 2, 5, 9 with 4 samples per op.
+        let a = actives_from_ops(&[0, 2, 5, 9], 11, 4);
+        let (bs, unit) = extract_bursts(&a).expect("bursts exist");
+        assert_eq!(bs.len(), 4);
+        assert!((unit - 4.0).abs() < 0.4, "unit {unit}");
+        assert_eq!(ops_between_bursts(&bs, unit), vec![2, 3, 4]);
     }
 
     #[test]
-    fn end_to_end_extraction() {
-        // Three multiply doublets at unit 4, cluster starts 3 and 4 ops
-        // apart: events (10,14), (22,26), (38,42).
-        let events = vec![10, 14, 22, 26, 38, 42];
-        let actives = actives_from_events(&events, 48);
-        let (clusters, unit) = extract_clusters(&actives).expect("events exist");
-        assert!((unit - 4.0).abs() < 0.3, "unit {unit}");
-        assert_eq!(clusters, vec![10, 22, 38]);
-        assert_eq!(ops_between_clusters(&clusters, unit), vec![3, 4]);
+    fn unit_survives_ragged_burst_edges() {
+        // Same ops, but burst lengths jittered by ±1 sample.
+        let mut a = actives_from_ops(&[0, 2, 5, 9], 11, 5);
+        a[4] = false; // shorten first burst
+        a[25] = true; // lengthen third
+        let (bs, unit) = extract_bursts(&a).expect("bursts exist");
+        assert_eq!(bs.len(), 4);
+        assert_eq!(ops_between_bursts(&bs, unit), vec![2, 3, 4]);
     }
 
     #[test]
-    fn unit_estimation_survives_quantized_regime() {
-        // One op per sample: gaps are small integers with odd values
-        // present, so the unit must resolve to ~1 sample.
-        let events = vec![0, 2, 5, 7, 10, 15, 17, 20];
-        let unit = estimate_unit(&events).expect("events exist");
-        assert!(unit < 1.4, "unit {unit}");
-    }
-
-    #[test]
-    fn unit_refinement_tracks_fractional_units() {
-        // True unit 3.25: events at round(k * 3.25) for doublet pattern.
-        let true_unit = 3.25f64;
-        let mults = [0u32, 1, 8, 9, 12, 13, 22, 23, 30, 31];
-        let events: Vec<usize> =
-            mults.iter().map(|m| (*m as f64 * true_unit).round() as usize).collect();
-        let unit = estimate_unit(&events).expect("events exist");
-        // Gap rounding injects up to ±0.5-sample noise per event, so the
-        // estimate lands near — not exactly on — the fractional unit.
-        assert!((unit - true_unit).abs() < 0.45, "unit {unit}");
-    }
-
-    #[test]
-    fn chains_carry_multiply_counts() {
-        // unit 4: isolated mul (10,14), then a '11' run (30,34,38,42),
-        // then a lone-call mul with a lost ret (60).
-        let events = vec![10, 14, 30, 34, 38, 42, 60];
-        let cs = chains(&events, 1.55 * 4.0);
-        assert_eq!(cs.len(), 3);
-        assert_eq!(cs[0], Chain { first: 10, last: 14, events: 2 });
-        assert_eq!(cs[0].multiplies(), 1);
-        assert_eq!(cs[1], Chain { first: 30, last: 42, events: 4 });
-        assert_eq!(cs[1].multiplies(), 2);
-        assert_eq!(cs[2].multiplies(), 1);
-        // Gap from chain end to next chain start measures the squares.
-        assert_eq!(cs[1].first - cs[0].last, 16); // 4 ops
-    }
-
-    #[test]
-    fn no_events_no_clusters() {
-        assert!(extract_clusters(&[false; 32]).is_none());
-        assert!(extract_clusters(&[false, true, false]).is_none());
+    fn no_bursts_no_decode() {
+        assert!(extract_bursts(&[false; 32]).is_none());
+        assert!(extract_bursts(&[false, true, false]).is_none());
     }
 }

@@ -129,8 +129,7 @@ pub fn library_id_experiment(
             train.push(Sample::new(v, label));
         }
         for k in 0..online_per_version {
-            let v =
-                activity_vector(arch, version, 1000 + k as u64, cfg, 900 + k as u64)?;
+            let v = activity_vector(arch, version, 1000 + k as u64, cfg, 900 + k as u64)?;
             test.push(Sample::new(v, label));
         }
     }
@@ -244,8 +243,7 @@ mod tests {
         // The paper uses 8 offline measurements per version; a kNN with
         // k=3 needs at least ~5 per class for folds to keep a same-class
         // majority available.
-        let report =
-            library_id_experiment(MicroArch::TigerLake, &subset, 5, 1, &cfg).unwrap();
+        let report = library_id_experiment(MicroArch::TigerLake, &subset, 5, 1, &cfg).unwrap();
         assert!(report.online_accuracy >= 0.75, "online {}", report.online_accuracy);
         assert!(report.cv_accuracy >= 0.7, "cv {}", report.cv_accuracy);
     }

@@ -114,8 +114,7 @@ impl Prober {
     /// Propagates [`StepError`] from either thread.
     pub fn flush_line(&mut self, machine: &mut Machine, addr: Addr) -> Result<(), StepError> {
         machine.set_reg(self.tid, ADDR_REG, addr.0);
-        machine
-            .run_sequence(self.tid, &[Instr::Clflush { mem: MemRef::base(ADDR_REG) }])?;
+        machine.run_sequence(self.tid, &[Instr::Clflush { mem: MemRef::base(ADDR_REG) }])?;
         Ok(())
     }
 

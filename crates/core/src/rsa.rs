@@ -132,8 +132,8 @@ pub fn collect_trace(
     Ok(RsaTrace { samples, victim_cycles })
 }
 
-/// Raw multiply-event sample indices (burst starts; the per-multiply
-/// refetch doublet is still present — [`decode_trace`] clusters it away).
+/// Raw multiply-event sample indices (burst starts — one burst per
+/// multiplication; see [`crate::decode`]).
 pub fn events_from_samples(samples: &[ActivitySample]) -> Vec<usize> {
     let actives: Vec<bool> = samples.iter().map(|s| s.active).collect();
     crate::decode::burst_starts(&actives)
@@ -141,33 +141,22 @@ pub fn events_from_samples(samples: &[ActivitySample]) -> Vec<usize> {
 
 /// Decode a trace into exponent bits (MSB-first).
 ///
-/// Every multiplication emits a call-fetch event and a ret-refetch event
-/// one operation later (see [`crate::decode`]), so `k` adjacent set bits
-/// form a `2k`-event chain at unit spacing. The gap from a chain's last
-/// event (the final ret) to the next chain's first event (the next call)
-/// spans the zero-bit squares plus the next set bit's square:
-/// `zeros = round(gap / unit) - 1`.
+/// Each multiplication is one activity burst (the victim's `mul_n` keeps
+/// executing its line for the whole operation — see [`crate::decode`]).
+/// Between two set bits with `z` zero bits in between, the victim runs
+/// one multiply plus `z + 1` squares, so consecutive burst starts are
+/// `z + 2` operations apart: `zeros = round(gap / unit) - 2`.
 pub fn decode_trace(trace: &RsaTrace, nbits: usize) -> Vec<bool> {
     let actives: Vec<bool> = samples_to_actives(&trace.samples);
-    let Some((chains, unit)) = crate::decode::extract_chains(&actives) else {
+    let Some((bursts, unit)) = crate::decode::extract_bursts(&actives) else {
         return vec![false; nbits];
     };
-    if chains.is_empty() {
-        return vec![false; nbits];
-    }
     let mut bits = Vec::with_capacity(nbits);
-    for _ in 0..chains[0].multiplies() {
-        bits.push(true); // leading adjacent set bits, starting at the MSB
-    }
-    for pair in chains.windows(2) {
-        let gap = (pair[1].first - pair[0].last) as f64;
-        let zeros = ((gap / unit).round() as usize).saturating_sub(1);
-        for _ in 0..zeros.min(nbits) {
-            bits.push(false);
-        }
-        for _ in 0..pair[1].multiplies() {
-            bits.push(true);
-        }
+    bits.push(true); // the MSB is always set and always multiplies
+    for ops in crate::decode::ops_between_bursts(&bursts, unit) {
+        let zeros = (ops as usize).saturating_sub(2);
+        bits.extend(std::iter::repeat_n(false, zeros.min(nbits)));
+        bits.push(true);
     }
     bits.truncate(nbits);
     while bits.len() < nbits {
@@ -385,8 +374,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(32);
         let exp = Bignum::random_bits(&mut rng, 160);
         let cfg = RsaAttackConfig::new(ProbeKind::Flush);
-        let (_, rates) =
-            traces_needed(MicroArch::TigerLake, &exp, &cfg, 0.70, 8).expect("runs");
+        let (_, rates) = traces_needed(MicroArch::TigerLake, &exp, &cfg, 0.70, 8).expect("runs");
         let first = rates[0];
         let best = rates.iter().cloned().fold(0.0f64, f64::max);
         assert!(first > 0.45, "single-trace band: {first}");
@@ -436,8 +424,7 @@ mod tests {
             noise: NoiseConfig::noisy(),
             ..RsaAttackConfig::new(ProbeKind::Store)
         };
-        let (_, rates) =
-            traces_needed(MicroArch::TigerLake, &exp, &cfg, 0.99, 7).expect("runs");
+        let (_, rates) = traces_needed(MicroArch::TigerLake, &exp, &cfg, 0.99, 7).expect("runs");
         assert!(!rates.is_empty());
         let first = rates[0];
         let best = rates.iter().cloned().fold(0.0f64, f64::max);

@@ -140,38 +140,26 @@ pub fn smc_sampler(
 /// each cluster's first sample time is reported — the Figure 6 x-axis.
 pub fn event_times(samples: &[(u64, bool)]) -> Vec<u64> {
     let actives: Vec<bool> = samples.iter().map(|(_, a)| *a).collect();
-    let Some((chains, _)) = crate::decode::extract_chains(&actives) else {
+    let Some((bursts, _)) = crate::decode::extract_bursts(&actives) else {
         return Vec::new();
     };
-    chains.iter().map(|c| samples[c.first].0).collect()
+    bursts.iter().map(|b| samples[b.first].0).collect()
 }
 
 /// Estimate the per-gap square-run lengths `Ŝ_j` from the raw samples.
 ///
-/// Back-to-back width-1 windows chain at unit spacing (each contributing
-/// `Ŝ = 1`); between chains, the gap from the last ret refetch to the next
-/// call spans exactly the squares in between: `Ŝ = round(gap / unit)`.
+/// Each multiply is one activity burst (see [`crate::decode`]); between
+/// consecutive multiplies the victim runs one multiply plus the span's
+/// squares, so `Ŝ = round(start_gap / unit) - 1`.
 pub fn measured_square_runs(samples: &[(u64, bool)]) -> Vec<u32> {
     let actives: Vec<bool> = samples.iter().map(|(_, a)| *a).collect();
-    let Some((chains, unit)) = crate::decode::extract_chains(&actives) else {
+    let Some((bursts, unit)) = crate::decode::extract_bursts(&actives) else {
         return Vec::new();
     };
-    let mut runs = Vec::new();
-    for (i, pair) in chains.windows(2).enumerate() {
-        let _ = i;
-        let gap = (pair[1].first - pair[0].last) as f64;
-        runs.push(((gap / unit).round() as u32).max(1));
-        for _ in 1..pair[1].multiplies() {
-            runs.push(1); // in-chain multiplies are one square apart
-        }
-    }
-    // In-chain multiplies of the first chain also contribute.
-    let mut head = Vec::new();
-    for _ in 1..chains[0].multiplies() {
-        head.push(1);
-    }
-    head.extend(runs);
-    head
+    crate::decode::ops_between_bursts(&bursts, unit)
+        .into_iter()
+        .map(|ops| (ops - 1).max(1))
+        .collect()
 }
 
 /// Ground-truth square-run structure between consecutive multiplies.
@@ -216,6 +204,13 @@ pub fn truth_spans(schedule: &SlidingWindowSchedule) -> Vec<TruthSpan> {
                 known = 0;
             }
         }
+    }
+    // An even exponent ends in lone zero bits after the last window: their
+    // squares run until the exponentiation returns, so they form one final
+    // (fully known) span. Without this the trailing bits vanish from the
+    // ground truth and spans no longer cover the exponent.
+    if seen_first_window && bits > 0 {
+        spans.push(TruthSpan { squares, bits, known_bits: known });
     }
     spans
 }
@@ -345,12 +340,14 @@ mod tests {
 
     #[test]
     fn square_run_estimation_from_synthetic_samples() {
-        // Unit = 4 samples; multiplies appear as doublets (call + refetch)
-        // at (0,4), (16,20), (36,40): cluster gaps of 4 and 5 operations,
+        // Unit = 4 samples; each multiply is a 4-sample activity burst
+        // starting at ops 0, 4 and 9: start gaps of 4 and 5 operations,
         // i.e. square runs of 3 and 4.
-        let mut actives = vec![false; 48];
-        for e in [0usize, 4, 16, 20, 36, 40] {
-            actives[e] = true;
+        let mut actives = [false; 48];
+        for burst_start in [0usize, 16, 36] {
+            for s in 0..4 {
+                actives[burst_start + s] = true;
+            }
         }
         let samples: Vec<(u64, bool)> =
             actives.iter().enumerate().map(|(i, a)| (i as u64 * 100, *a)).collect();
@@ -365,10 +362,7 @@ mod tests {
         // attack should catch a solid majority of the recoverable bits
         // (the paper reports 83% at this size).
         let b = Bignum::random_bits(&mut rng, 160);
-        let cfg = SrpAttackConfig {
-            noise: NoiseConfig::quiet(),
-            ..SrpAttackConfig::new(4096)
-        };
+        let cfg = SrpAttackConfig { noise: NoiseConfig::quiet(), ..SrpAttackConfig::new(4096) };
         let out = single_trace_attack(MicroArch::TigerLake, &b, &cfg, 3).expect("attack runs");
         assert!(out.leakage > 0.5, "leakage {}", out.leakage);
         assert!(out.events > 10);

@@ -124,7 +124,7 @@ impl Bignum {
 
     /// Is this even?
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for zero).

@@ -172,11 +172,8 @@ pub fn sliding_window_schedule(exp: &Bignum) -> SlidingWindowSchedule {
         return SlidingWindowSchedule::default();
     }
     let window = WindowSizing::for_exponent_bits(bits);
-    let mut out = SlidingWindowSchedule {
-        ops: Vec::new(),
-        steps: Vec::new(),
-        known_bits: vec![false; bits],
-    };
+    let mut out =
+        SlidingWindowSchedule { ops: Vec::new(), steps: Vec::new(), known_bits: vec![false; bits] };
     let mut started = false;
     let mut wstart = bits as isize - 1;
     while wstart >= 0 {

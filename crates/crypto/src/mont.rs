@@ -99,10 +99,10 @@ impl MontCtx {
         let mut out = t;
         if ge {
             let mut borrow = 0u64;
-            for j in 0..k {
-                let (d1, b1) = out[j].overflowing_sub(self.n[j]);
+            for (o, n) in out.iter_mut().zip(&self.n) {
+                let (d1, b1) = o.overflowing_sub(*n);
                 let (d2, b2) = d1.overflowing_sub(borrow);
-                out[j] = d2;
+                *o = d2;
                 borrow = (b1 as u64) + (b2 as u64);
             }
             out[k] = out[k].wrapping_sub(borrow);

@@ -172,10 +172,7 @@ impl SrpServer {
 
     /// `u = H(PAD(A) || PAD(B))`.
     pub fn scrambler(&self, big_a: &Bignum) -> Bignum {
-        hash_to_bn(
-            &[&self.group.pad(big_a), &self.group.pad(&self.big_b)],
-            self.group.n(),
-        )
+        hash_to_bn(&[&self.group.pad(big_a), &self.group.pad(&self.big_b)], self.group.n())
     }
 
     /// `SRP_Calc_server_key`: `S = (A * v^u)^b mod N` via the leaky

@@ -3,9 +3,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use smack_crypto::modexp::{
-    binary_ltr, binary_ltr_schedule, sliding_window_schedule, ModexpOp,
-};
+use smack_crypto::modexp::{binary_ltr, binary_ltr_schedule, sliding_window_schedule, ModexpOp};
 use smack_crypto::prime::is_probable_prime;
 use smack_crypto::srp::{register, SrpClient, SrpServer};
 use smack_crypto::{Bignum, RsaKeyPair, SrpGroup};

@@ -21,8 +21,7 @@ use smack::oracle::{EvictionSet, OraclePage};
 use smack::probe::Prober;
 use smack_ml::{train_test_split, BinaryConfusion, KnnClassifier, Sample};
 use smack_uarch::{
-    Addr, CounterBank, Machine, MicroArch, NoiseConfig, PerfEvent, ProbeKind, SmcBehavior,
-    ThreadId,
+    Addr, CounterBank, Machine, MicroArch, NoiseConfig, PerfEvent, ProbeKind, SmcBehavior, ThreadId,
 };
 use smack_victims::benign::BenignWorkload;
 
@@ -113,20 +112,14 @@ pub struct CounterDelta {
 
 impl CounterDelta {
     fn from_banks(before: &CounterBank, after: &CounterBank, cycles: u64) -> CounterDelta {
-        let values = PerfEvent::ALL
-            .iter()
-            .map(|e| (*e, after.read(*e) - before.read(*e)))
-            .collect();
+        let values =
+            PerfEvent::ALL.iter().map(|e| (*e, after.read(*e) - before.read(*e))).collect();
         CounterDelta { cycles, values }
     }
 
     /// Delta of one event over the window.
     pub fn read(&self, event: PerfEvent) -> u64 {
-        self.values
-            .iter()
-            .find(|(e, _)| *e == event)
-            .map(|(_, v)| *v)
-            .unwrap_or(0)
+        self.values.iter().find(|(e, _)| *e == event).map(|(_, v)| *v).unwrap_or(0)
     }
 }
 
@@ -291,9 +284,7 @@ pub fn attack_windows(
                     // Keep the line bouncing into the L1i so the probe
                     // conflicts, as a live covert channel would.
                     prober.execute_line(&mut m, shared.line(0)).map_err(|e| e.to_string())?;
-                    prober
-                        .measure(&mut m, k, shared.line(0))
-                        .map_err(|e| e.to_string())?;
+                    prober.measure(&mut m, k, shared.line(0)).map_err(|e| e.to_string())?;
                     m.call(MONITOR, attacker_logic, &[6]).map_err(|e| e.to_string())?;
                     prober.wait(&mut m, 400).map_err(|e| e.to_string())?;
                 }
@@ -325,6 +316,60 @@ pub struct DetectionReport {
     pub attack_windows: usize,
 }
 
+/// One independent unit of the §6.1 dataset: a workload run plus its
+/// fixed seed. The unit list is the single source of truth for the
+/// dataset's composition and seeding, shared by the sequential
+/// [`collect_dataset`] and any parallel collector fanning the units out.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DatasetUnit {
+    /// A benign-suite workload (label 0).
+    Benign(BenignWorkload, u64),
+    /// An attack loop (label 1).
+    Attack(AttackLoop, u64),
+}
+
+impl DatasetUnit {
+    /// Whether this unit contributes benign (label-0) windows.
+    pub fn is_benign(&self) -> bool {
+        matches!(self, DatasetUnit::Benign(..))
+    }
+}
+
+/// The full dataset composition: every benign workload and every paper
+/// attack loop, each with its canonical seed.
+pub fn dataset_units() -> Vec<DatasetUnit> {
+    let mut units: Vec<DatasetUnit> = BenignWorkload::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, w)| DatasetUnit::Benign(*w, 7_000 + i as u64))
+        .collect();
+    units.extend(
+        AttackLoop::paper_set()
+            .iter()
+            .enumerate()
+            .map(|(i, a)| DatasetUnit::Attack(*a, 9_000 + i as u64)),
+    );
+    units
+}
+
+/// Collect one unit's windows. `Ok(None)` means the unit's probe class
+/// is unsupported on this part (the paper's N/A attack rows).
+///
+/// # Errors
+///
+/// Returns a message on simulator errors in benign runs; attack-side
+/// unsupported-probe errors are folded into `Ok(None)`.
+pub fn collect_unit(
+    arch: MicroArch,
+    unit: DatasetUnit,
+    cfg: &DetectionConfig,
+) -> Result<Option<Vec<CounterDelta>>, String> {
+    match unit {
+        DatasetUnit::Benign(w, seed) => benign_windows(arch, w, cfg, seed).map(Some),
+        DatasetUnit::Attack(a, seed) => Ok(attack_windows(arch, a, cfg, seed).ok()),
+    }
+}
+
 /// Build the full benign + attack window dataset.
 ///
 /// # Errors
@@ -335,14 +380,13 @@ pub fn collect_dataset(
     cfg: &DetectionConfig,
 ) -> Result<(Vec<CounterDelta>, Vec<CounterDelta>), String> {
     let mut benign = Vec::new();
-    for (i, w) in BenignWorkload::ALL.iter().enumerate() {
-        benign.extend(benign_windows(arch, *w, cfg, 7_000 + i as u64)?);
-    }
     let mut attacks = Vec::new();
-    for (i, a) in AttackLoop::paper_set().iter().enumerate() {
-        match attack_windows(arch, *a, cfg, 9_000 + i as u64) {
-            Ok(w) => attacks.extend(w),
-            Err(_) => continue, // unsupported probe on this part
+    for unit in dataset_units() {
+        let Some(windows) = collect_unit(arch, unit, cfg)? else { continue };
+        if unit.is_benign() {
+            benign.extend(windows);
+        } else {
+            attacks.extend(windows);
         }
     }
     Ok((benign, attacks))
@@ -400,13 +444,12 @@ mod tests {
     #[test]
     fn benign_windows_are_mostly_clear_free_except_amg() {
         let cfg = small_cfg();
-        let quiet = benign_windows(MicroArch::CascadeLake, BenignWorkload::StreamSum, &cfg, 2)
-            .unwrap();
+        let quiet =
+            benign_windows(MicroArch::CascadeLake, BenignWorkload::StreamSum, &cfg, 2).unwrap();
         for d in &quiet {
             assert_eq!(d.read(PerfEvent::MachineClearsSmc), 0);
         }
-        let amg =
-            benign_windows(MicroArch::CascadeLake, BenignWorkload::Amg, &cfg, 3).unwrap();
+        let amg = benign_windows(MicroArch::CascadeLake, BenignWorkload::Amg, &cfg, 3).unwrap();
         let total: u64 = amg.iter().map(|d| d.read(PerfEvent::MachineClearsSmc)).sum();
         assert!(total > 0, "the amg workload self-modifies");
     }
@@ -422,20 +465,16 @@ mod tests {
         ]
         .iter()
         .enumerate()
-        .flat_map(|(i, w)| {
-            benign_windows(MicroArch::CascadeLake, *w, &cfg, 20 + i as u64).unwrap()
-        })
+        .flat_map(|(i, w)| benign_windows(MicroArch::CascadeLake, *w, &cfg, 20 + i as u64).unwrap())
         .collect();
-        let attacks: Vec<CounterDelta> = [
-            AttackLoop::PrimeProbe(ProbeKind::Store),
-            AttackLoop::FlushReload(ProbeKind::Flush),
-        ]
-        .iter()
-        .enumerate()
-        .flat_map(|(i, a)| {
-            attack_windows(MicroArch::CascadeLake, *a, &cfg, 30 + i as u64).unwrap()
-        })
-        .collect();
+        let attacks: Vec<CounterDelta> =
+            [AttackLoop::PrimeProbe(ProbeKind::Store), AttackLoop::FlushReload(ProbeKind::Flush)]
+                .iter()
+                .enumerate()
+                .flat_map(|(i, a)| {
+                    attack_windows(MicroArch::CascadeLake, *a, &cfg, 30 + i as u64).unwrap()
+                })
+                .collect();
         let smc = evaluate(FeatureSet::MachineClearsSmc, &benign, &attacks, 5);
         let llc = evaluate(FeatureSet::LlcMisses, &benign, &attacks, 5);
         assert!(smc.f1 >= 0.8, "smc F1 {}", smc.f1);

@@ -66,15 +66,7 @@ impl MastikMonitor {
         machine.place_line(evset.ways()[0], smack_uarch::Placement::L2);
         let cold = prober.measure(machine, ProbeKind::Execute, evset.ways()[0])?.cycles;
         let threshold = ((hot_mean + cold as f64) / 2.0).round() as u64;
-        Ok(MastikMonitor {
-            evset,
-            prober,
-            threshold,
-            wait_cycles,
-            count: 0.0,
-            mean: 0.0,
-            m2: 0.0,
-        })
+        Ok(MastikMonitor { evset, prober, threshold, wait_cycles, count: 0.0, mean: 0.0, m2: 0.0 })
     }
 
     /// The calibrated per-way threshold (diagnostics).
@@ -149,10 +141,7 @@ mod tests {
         // A victim-like eviction produces a nonzero score.
         mon.evset.prime(&mut m, &mut Prober::new(T0)).unwrap();
         m.place_line(mon.evset.ways()[2], smack_uarch::Placement::L2);
-        let t = mon
-            .evset
-            .probe(&mut m, &mut Prober::new(T0), ProbeKind::Execute)
-            .unwrap();
+        let t = mon.evset.probe(&mut m, &mut Prober::new(T0), ProbeKind::Execute).unwrap();
         let misses = t.iter().filter(|x| **x > mon.threshold()).count();
         assert_eq!(misses, 1);
     }
@@ -171,10 +160,7 @@ mod tests {
                 nonzero += 1;
             }
         }
-        assert!(
-            nonzero > 4,
-            "jitter should produce spurious misses, got {nonzero}/40"
-        );
+        assert!(nonzero > 4, "jitter should produce spurious misses, got {nonzero}/40");
     }
 
     #[test]

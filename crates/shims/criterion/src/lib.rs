@@ -1,0 +1,198 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion API the `smack-bench` bench
+//! targets use: [`Criterion::benchmark_group`], group `sample_size` /
+//! `throughput` / `bench_function` / `finish`, [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Bench targets must set `harness = false`, exactly as with the
+//! real crate.
+//!
+//! Measurement is intentionally simple: a short warm-up, then timed
+//! batches whose mean/min per-iteration wall time is printed. Honouring
+//! `--bench`-style CLI filters: the first free argument, if any, filters
+//! benchmark ids by substring. `cargo test` also passes `--test`-style
+//! flags to harness-less targets; anything starting with `-` is ignored.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimiser from deleting a
+/// computation whose result is otherwise unused.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, timing each invocation.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (untimed).
+        for _ in 0..2 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter, sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        let sample_size = self.sample_size;
+        run_one(self.filter.as_deref(), id, sample_size, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(self.criterion.filter.as_deref(), &full, n, self.throughput, f);
+        self
+    }
+
+    /// End the group (parity with the real API; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    filter: Option<&str>,
+    id: &str,
+    iters: u64,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !id.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher { iters: iters.max(1), elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:.3e} elem/s", n as f64 / per_iter),
+        Throughput::Bytes(n) => format!("  {:.3e} B/s", n as f64 / per_iter),
+    });
+    println!(
+        "bench: {id:<44} {:>12.3} us/iter ({} iters){}",
+        per_iter * 1e6,
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Bundle benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher { iters: 5, elapsed: Duration::ZERO };
+        b.iter(|| calls += 1);
+        // 2 warm-up + 5 timed.
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn group_runs_and_filters() {
+        let mut c = Criterion { filter: Some("match_me".into()), sample_size: 3 };
+        let mut ran = Vec::new();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("match_me", |b| b.iter(|| ran.push("a")));
+            g.finish();
+        }
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("skipped", |b| b.iter(|| ran.push("b")));
+            g.finish();
+        }
+        assert!(ran.contains(&"a"));
+        assert!(!ran.contains(&"b"));
+    }
+}

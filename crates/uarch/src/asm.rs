@@ -434,10 +434,9 @@ impl Assembler {
         let resolve = |t: &Target, labels: &HashMap<String, u64>| -> Result<u64, AsmError> {
             match t {
                 Target::Abs(a) => Ok(*a),
-                Target::Label(l) => labels
-                    .get(l)
-                    .copied()
-                    .ok_or_else(|| AsmError::UndefinedLabel(l.clone())),
+                Target::Label(l) => {
+                    labels.get(l).copied().ok_or_else(|| AsmError::UndefinedLabel(l.clone()))
+                }
             }
         };
         let mut code = BTreeMap::new();
@@ -463,11 +462,7 @@ impl Assembler {
                 return Err(AsmError::Overlap { addr: w[1].0 });
             }
         }
-        Ok(Program {
-            entry: self.entry.unwrap_or(self.origin),
-            code,
-            labels: self.labels.clone(),
-        })
+        Ok(Program { entry: self.entry.unwrap_or(self.origin), code, labels: self.labels.clone() })
     }
 }
 

@@ -446,7 +446,11 @@ impl Engine {
     ///
     /// Fails for branch instructions, unsupported probe classes and
     /// non-idle threads.
-    pub fn exec_injected(&mut self, tid: ThreadId, instr: &Instr) -> Result<InjectedNext, StepError> {
+    pub fn exec_injected(
+        &mut self,
+        tid: ThreadId,
+        instr: &Instr,
+    ) -> Result<InjectedNext, StepError> {
         if self.t(tid).state == ThreadState::Running {
             return Err(StepError::NotRunning { tid });
         }
@@ -744,7 +748,8 @@ impl Engine {
                 } else {
                     cost += self.dtlb_cost(tid, addr);
                     let level = self.hier.residency(addr.line()).data_level();
-                    let (_fired, c) = self.probe_effects(tid, ProbeKind::Store, addr.line(), level)?;
+                    let (_fired, c) =
+                        self.probe_effects(tid, ProbeKind::Store, addr.line(), level)?;
                     self.count_data_level(tid, level);
                     self.hier.write(addr.line());
                     self.write_mem_value(addr, val, size);
@@ -765,7 +770,8 @@ impl Engine {
                     cost += wait;
                     cost += self.dtlb_cost(tid, addr);
                     let level = self.hier.residency(addr.line()).data_level();
-                    let (_fired, c) = self.probe_effects(tid, ProbeKind::Lock, addr.line(), level)?;
+                    let (_fired, c) =
+                        self.probe_effects(tid, ProbeKind::Lock, addr.line(), level)?;
                     self.count_data_level(tid, level);
                     self.hier.write(addr.line());
                     let val = self.mem.read_u8(addr).wrapping_add(1);

@@ -222,6 +222,7 @@ impl Instr {
     /// Encoded length in bytes. Lengths are x86-plausible so that code
     /// occupies cache lines realistically (63 × `nop` + `ret` is exactly one
     /// 64-byte line, as in SMaCk Listing 1).
+    #[allow(clippy::len_without_is_empty)] // an instruction is never empty
     pub fn len(&self) -> u64 {
         match self {
             Instr::Nop | Instr::Halt | Instr::Ret => 1,
@@ -248,7 +249,10 @@ impl Instr {
             | Instr::PrefetchNta { .. }
             | Instr::LockInc { .. }
             | Instr::Delay { .. } => 4,
-            Instr::AddImm { .. } | Instr::CmpImm { .. } | Instr::Jmp { .. } | Instr::Call { .. } => 5,
+            Instr::AddImm { .. }
+            | Instr::CmpImm { .. }
+            | Instr::Jmp { .. }
+            | Instr::Call { .. } => 5,
             Instr::Jcc { .. } => 6,
             Instr::MovImm { .. } | Instr::StoreImm { .. } => 7,
         }

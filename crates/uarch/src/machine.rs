@@ -285,7 +285,11 @@ impl Machine {
     /// # Errors
     ///
     /// Propagates [`StepError`]; injected sequences cannot contain jumps.
-    pub fn run_sequence(&mut self, tid: ThreadId, instrs: &[Instr]) -> Result<SeqOutcome, StepError> {
+    pub fn run_sequence(
+        &mut self,
+        tid: ThreadId,
+        instrs: &[Instr],
+    ) -> Result<SeqOutcome, StepError> {
         let start = self.engine.clock(tid);
         for instr in instrs {
             self.catch_up_sibling(tid)?;
@@ -419,11 +423,7 @@ mod tests {
         assert!(m.residency(Addr(0x2000)).l1i);
         let before = m.counters(T0).snapshot();
         m.set_reg(T0, Reg::R1, 0x2000);
-        m.run_sequence(
-            T0,
-            &[Instr::StoreImm { mem: MemRef::base(Reg::R1), imm: 0x90 }],
-        )
-        .unwrap();
+        m.run_sequence(T0, &[Instr::StoreImm { mem: MemRef::base(Reg::R1), imm: 0x90 }]).unwrap();
         let c = m.counters(T0);
         assert_eq!(c.delta(&before, PerfEvent::MachineClearsCount), 1);
         assert_eq!(c.delta(&before, PerfEvent::MachineClearsSmc), 1);
@@ -452,10 +452,7 @@ mod tests {
         m.place_line(Addr(0x3000), Placement::L2);
         m.run_sequence(T0, &probe).unwrap();
         let cold = m.reg(T0, Reg::R15) - m.reg(T0, Reg::R14);
-        assert!(
-            hot > cold + 150,
-            "SMC hit must dominate: hot={hot} cold={cold}"
-        );
+        assert!(hot > cold + 150, "SMC hit must dominate: hot={hot} cold={cold}");
     }
 
     #[test]
@@ -504,9 +501,8 @@ mod tests {
     fn unsupported_probe_errors() {
         let mut m = Machine::new(MicroArch::SandyBridge.profile());
         m.set_reg(T0, Reg::R1, 0x5000);
-        let err = m
-            .run_sequence(T0, &[Instr::Clflushopt { mem: MemRef::base(Reg::R1) }])
-            .unwrap_err();
+        let err =
+            m.run_sequence(T0, &[Instr::Clflushopt { mem: MemRef::base(Reg::R1) }]).unwrap_err();
         assert_eq!(err, StepError::Unsupported { kind: ProbeKind::FlushOpt });
     }
 
@@ -563,6 +559,6 @@ mod tests {
             m.residency(Addr(oracle + 3 * 64)).l1i,
             "speculative fetch must survive the squash"
         );
-        assert!(!m.residency(Addr(oracle + 1 * 64)).l1i);
+        assert!(!m.residency(Addr(oracle + 64)).l1i);
     }
 }

@@ -113,7 +113,8 @@ mod tests {
 
     #[test]
     fn jitter_is_bounded() {
-        let mut n = NoiseSource::new(NoiseConfig { timing_jitter: 5, evictions_per_kcycle: 0.0 }, 7);
+        let mut n =
+            NoiseSource::new(NoiseConfig { timing_jitter: 5, evictions_per_kcycle: 0.0 }, 7);
         for _ in 0..1000 {
             let j = n.jitter();
             assert!((-5..=5).contains(&j));

@@ -347,9 +347,7 @@ impl UarchProfile {
     /// Reproduces the counter quirk from §4.2: on Intel, `clflushopt` and
     /// `clwb` bump the SMC sub-counter twice per clear.
     pub fn smc_count_increment(&self, kind: ProbeKind) -> u64 {
-        if self.vendor == Vendor::Intel
-            && matches!(kind, ProbeKind::FlushOpt | ProbeKind::Clwb)
-        {
+        if self.vendor == Vendor::Intel && matches!(kind, ProbeKind::FlushOpt | ProbeKind::Clwb) {
             2
         } else {
             1

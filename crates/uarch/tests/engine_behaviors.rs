@@ -142,9 +142,7 @@ fn llc_eviction_back_invalidates() {
         )
         .unwrap();
     }
-    let evicted = (0..17u64)
-        .filter(|i| !m.residency(Addr(base + i * stride)).llc)
-        .count();
+    let evicted = (0..17u64).filter(|i| !m.residency(Addr(base + i * stride)).llc).count();
     assert!(evicted >= 1, "one line must have left the LLC");
     for i in 0..17u64 {
         let r = m.residency(Addr(base + i * stride));
@@ -171,8 +169,7 @@ fn noise_evictions_disturb_primed_lines() {
         m.run_sequence(T0, &[Instr::Call { target: 0x8000 + i * 64 }]).unwrap();
     }
     m.advance(T0, 200_000).unwrap();
-    let still_resident =
-        (0..64u64).filter(|i| m.residency(Addr(0x8000 + i * 64)).l1i).count();
+    let still_resident = (0..64u64).filter(|i| m.residency(Addr(0x8000 + i * 64)).l1i).count();
     assert!(still_resident < 64, "heavy noise must evict something");
 }
 

@@ -184,8 +184,7 @@ mod tests {
         // Seeds 0 and 1 share the same coarse seed.
         let a = build_victim(&c[0], 0x0700_0000, 0);
         let b = build_victim(&c[1], 0x0700_0000, 0);
-        let shared =
-            a.layout.iter().zip(b.layout.iter()).filter(|(x, y)| x == y).count();
+        let shared = a.layout.iter().zip(b.layout.iter()).filter(|(x, y)| x == y).count();
         assert!(shared >= HOT_FUNCTIONS - 2, "shared {shared}");
         assert_ne!(a.layout, b.layout, "but not identical");
     }

@@ -118,6 +118,11 @@ impl ModexpVictimBuilder {
     pub fn build(&self) -> ModexpVictim {
         assert_ne!(self.sqr_set, self.mul_set, "square/multiply sets must differ");
         let sets = self.l1i_sets;
+        // Each routine also executes the line after its own (the loop
+        // tail), so that line's set must not be the other routine's
+        // monitored set.
+        assert_ne!((self.sqr_set + 1) % sets, self.mul_set, "sqr loop tail hits the mul set");
+        assert_ne!((self.mul_set + 1) % sets, self.sqr_set, "mul loop tail hits the sqr set");
         // Driver occupies the first few lines of the code region; routines
         // are placed one page up so their tags differ from everything else.
         let driver_base = self.code_base;
@@ -140,25 +145,16 @@ impl ModexpVictimBuilder {
             ModexpAlgorithm::SlidingWindow { window } => self.emit_sliding(&mut a, window),
             ModexpAlgorithm::MontgomeryLadder => self.emit_ladder(&mut a),
         }
-        // Square routine: log, model the big-int work, return.
-        a.org(sqr_addr)
-            .label("sqr_n")
-            .push(smack_uarch::isa::Instr::StoreImm {
-                mem: MemRef::base(Reg::R10),
-                imm: LOG_SQUARE,
-            })
-            .add_imm(Reg::R10, 1)
-            .delay(self.sqr_delay)
-            .ret();
-        a.org(mul_addr)
-            .label("mul_n")
-            .push(smack_uarch::isa::Instr::StoreImm {
-                mem: MemRef::base(Reg::R10),
-                imm: LOG_MULTIPLY,
-            })
-            .add_imm(Reg::R10, 1)
-            .delay(self.mul_delay)
-            .ret();
+        // Square and multiply routines: log the op, then model the
+        // O(limbs²) big-int work as a loop that keeps *executing* the
+        // routine's own cache line for the whole operation — real `mul_n` /
+        // `mpih_sqr_n` run their inner loop continuously, which is exactly
+        // what makes the victim's set activity observable at any attacker
+        // sampling phase (the paper's Figure 4 dips). The loop body spans
+        // the routine's line and the next line, so every iteration
+        // re-enters (and refetches) the monitored line.
+        Self::emit_routine(&mut a, sqr_addr, "sqr", LOG_SQUARE, self.sqr_delay);
+        Self::emit_routine(&mut a, mul_addr, "mul", LOG_MULTIPLY, self.mul_delay);
         let program = a.assemble().expect("victim assembles");
         ModexpVictim {
             program,
@@ -171,6 +167,33 @@ impl ModexpVictimBuilder {
             mul_set: self.mul_set,
             algorithm: self.algorithm,
         }
+    }
+
+    /// Emit one big-int routine at `addr`: log byte, then `iters` loop
+    /// turns of `delay(chunk)` with the loop tail on the *next* line so
+    /// each turn refetches the routine's own line. Registers: R10 = log
+    /// cursor (caller state), R11 = loop counter (scratch).
+    fn emit_routine(a: &mut Assembler, addr: u64, name: &str, log_code: u8, delay: u32) {
+        // ~64-cycle turns: coarse enough to stay cheap, fine enough that
+        // the routine's line activity is continuous at attacker timescales.
+        let iters = (delay / 64).max(1);
+        let chunk = delay / iters;
+        let entry = format!("{name}_n");
+        let lbl_loop = format!("{name}_n_body");
+        let lbl_tail = format!("{name}_n_tail");
+        let lbl_done = format!("{name}_n_done");
+        a.org(addr)
+            .label(&entry)
+            .push(smack_uarch::isa::Instr::StoreImm { mem: MemRef::base(Reg::R10), imm: log_code })
+            .add_imm(Reg::R10, 1)
+            .mov_imm(Reg::R11, iters as u64)
+            .label(&lbl_loop)
+            .delay(chunk)
+            .add_imm(Reg::R11, -1)
+            .cmp_imm(Reg::R11, 0)
+            .je(lbl_done.as_str())
+            .jmp(lbl_tail.as_str());
+        a.org(addr + 64).label(&lbl_tail).jmp(lbl_loop.as_str()).label(&lbl_done).ret();
     }
 
     /// Binary left-to-right driver:

@@ -9,11 +9,8 @@ use smack_detection::{collect_dataset, evaluate, DetectionConfig, FeatureSet};
 use smack_uarch::MicroArch;
 
 fn main() {
-    let cfg = DetectionConfig {
-        window_cycles: 80_000,
-        windows_per_run: 6,
-        ..DetectionConfig::default()
-    };
+    let cfg =
+        DetectionConfig { window_cycles: 80_000, windows_per_run: 6, ..DetectionConfig::default() };
     println!("collecting counter windows (20 benign workloads + 12 attack loops)...");
     let (benign, attacks) =
         collect_dataset(MicroArch::CascadeLake, &cfg).expect("dataset collects");
@@ -21,15 +18,11 @@ fn main() {
     println!();
     for fs in FeatureSet::ALL {
         let r = evaluate(fs, &benign, &attacks, 99);
-        println!(
-            "{:<34} accuracy {:.4}  F1 {:.4}  FPR {:.4}",
-            fs.name(),
-            r.accuracy,
-            r.f1,
-            r.fpr
-        );
+        println!("{:<34} accuracy {:.4}  F1 {:.4}  FPR {:.4}", fs.name(), r.accuracy, r.f1, r.fpr);
     }
     println!();
-    println!("(paper: machine_clears.smc reaches F1 0.987 at 0.85% FPR; \
-              BR_MISP and LLC-miss detectors from prior work trail far behind)");
+    println!(
+        "(paper: machine_clears.smc reaches F1 0.987 at 0.85% FPR; \
+              BR_MISP and LLC-miss detectors from prior work trail far behind)"
+    );
 }

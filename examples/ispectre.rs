@@ -10,8 +10,7 @@ fn main() {
     let secret = b"The Magic Words are Squeamish Ossifrage.";
     for kind in [ProbeKind::Store, ProbeKind::Flush] {
         let cfg = ISpectreConfig::new(kind);
-        let report =
-            leak_secret(MicroArch::CascadeLake, secret, &cfg, 42).expect("attack runs");
+        let report = leak_secret(MicroArch::CascadeLake, secret, &cfg, 42).expect("attack runs");
         println!(
             "{kind:<12} -> {:5.1}% of bytes recovered at {:>8.0} B/s ({} machine clears)",
             report.success_rate * 100.0,

@@ -6,7 +6,9 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use smack::rsa::{build_victim, collect_trace, decode_trace, majority_vote, score_bits, RsaAttackConfig};
+use smack::rsa::{
+    build_victim, collect_trace, decode_trace, majority_vote, score_bits, RsaAttackConfig,
+};
 use smack_crypto::RsaKeyPair;
 use smack_uarch::{MicroArch, NoiseConfig, ProbeKind};
 
@@ -18,10 +20,8 @@ fn main() {
     println!("victim RSA key: n = {}", key.n());
     println!("private exponent bits: {}", key.d().bit_len());
 
-    let cfg = RsaAttackConfig {
-        noise: NoiseConfig::quiet(),
-        ..RsaAttackConfig::new(ProbeKind::Flush)
-    };
+    let cfg =
+        RsaAttackConfig { noise: NoiseConfig::quiet(), ..RsaAttackConfig::new(ProbeKind::Flush) };
     let victim = build_victim(&cfg);
     let mut decodes = Vec::new();
     for trace_idx in 0..6 {
@@ -35,6 +35,10 @@ fn main() {
     let combined = majority_vote(&decodes, key.d().bit_len());
     let rate = score_bits(&combined, key.d());
     println!();
-    println!("majority vote over {} traces: {:.1}% of d's bits recovered", decodes.len(), rate * 100.0);
+    println!(
+        "majority vote over {} traces: {:.1}% of d's bits recovered",
+        decodes.len(),
+        rate * 100.0
+    );
     println!("(the paper reports ~63% from one trace and 70% after ~10 traces)");
 }

@@ -29,10 +29,8 @@ fn rsa_attack_recovers_real_private_exponent() {
     // the simulated victim's cache footprint.
     let mut rng = SmallRng::seed_from_u64(11);
     let key = RsaKeyPair::generate(128, &mut rng);
-    let cfg = RsaAttackConfig {
-        noise: NoiseConfig::quiet(),
-        ..RsaAttackConfig::new(ProbeKind::Flush)
-    };
+    let cfg =
+        RsaAttackConfig { noise: NoiseConfig::quiet(), ..RsaAttackConfig::new(ProbeKind::Flush) };
     let victim = build_victim(&cfg);
     let trace =
         collect_trace(MicroArch::TigerLake, &victim, key.d(), &cfg, 1).expect("trace collects");
@@ -121,10 +119,8 @@ fn constant_time_ladder_defeats_the_attack() {
     while key_b == key_a {
         key_b = key_b.add(&Bignum::from_u64(2));
     }
-    let cfg = RsaAttackConfig {
-        noise: NoiseConfig::quiet(),
-        ..RsaAttackConfig::new(ProbeKind::Flush)
-    };
+    let cfg =
+        RsaAttackConfig { noise: NoiseConfig::quiet(), ..RsaAttackConfig::new(ProbeKind::Flush) };
     let decode_with = |algorithm: ModexpAlgorithm, key: &Bignum| -> Vec<bool> {
         let mut builder = ModexpVictimBuilder::new(algorithm);
         builder.operand_bits(cfg.operand_bits);

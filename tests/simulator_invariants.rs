@@ -6,7 +6,9 @@ use smack::oracle::{EvictionSet, OraclePage};
 use smack::probe::Prober;
 use smack_uarch::asm::Assembler;
 use smack_uarch::isa::Reg;
-use smack_uarch::{Addr, Machine, MicroArch, NoiseConfig, Placement, ProbeKind, SmcBehavior, ThreadId};
+use smack_uarch::{
+    Addr, Machine, MicroArch, NoiseConfig, Placement, ProbeKind, SmcBehavior, ThreadId,
+};
 
 const T0: ThreadId = ThreadId::T0;
 
@@ -47,10 +49,7 @@ fn table3_matrix_consistency_probe_timings() {
             let hot = p.measure(&mut m, kind, Addr(0x3_0000)).unwrap().cycles;
             m.place_line(Addr(0x3_0000), Placement::L2);
             let cold = p.measure(&mut m, kind, Addr(0x3_0000)).unwrap().cycles;
-            assert!(
-                hot > cold + 80,
-                "{arch}/{kind}: hot {hot} must dominate cold {cold}"
-            );
+            assert!(hot > cold + 80, "{arch}/{kind}: hot {hot} must dominate cold {cold}");
         }
     }
 }
