@@ -6,10 +6,11 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use smack::channel::{random_payload, run_channel, ChannelSpec};
+use smack::channel::{random_payload, run_channel_in, ChannelSpec};
 use smack::rsa::{self, RsaAttackConfig};
+use smack::session::Scenario;
 use smack_crypto::Bignum;
-use smack_uarch::{Machine, MicroArch, NoiseConfig, ProbeKind, UarchProfile};
+use smack_uarch::{MicroArch, NoiseConfig, ProbeKind, UarchProfile};
 use smack_victims::modexp::{ModexpAlgorithm, ModexpVictimBuilder};
 
 use crate::report::{banner, f, s, Table};
@@ -24,16 +25,22 @@ pub fn smc_penalty_sweep(mode: Mode) {
     let payload = random_payload(bits, 0xab1);
     let mut t = Table::new(&["smc_extra (cycles)", "margin over L2 (cycles)", "error rate (%)"]);
     let surcharges = [4u32, 8, 16, 40, 120, 275];
-    let results = Runner::from_env().run(surcharges.len(), |i| {
-        let smc_extra = surcharges[i];
+    // Each surcharge value is its own profile fingerprint, so the pooled
+    // machines and cached calibrations never cross between sweep points.
+    let profile_for = |i: usize| -> UarchProfile {
         let mut profile: UarchProfile = MicroArch::CascadeLake.profile();
         let mut costs = profile.probe_costs.get(ProbeKind::Store);
-        costs.smc_extra = smc_extra;
+        costs.smc_extra = surcharges[i];
         profile.probe_costs.set(ProbeKind::Store, costs);
+        profile
+    };
+    let spec_for = |i: usize| Scenario::custom(profile_for(i)).with_noise(NoiseConfig::noisy());
+    let results = Runner::from_env().run_scenarios(spec_for, surcharges.len(), |session, _| {
+        let costs = session.machine().profile().probe_costs.get(ProbeKind::Store);
         let margin = (costs.base + costs.smc_extra).saturating_sub(costs.base + costs.l2);
-        let mut m = Machine::new(profile);
-        let r = run_channel(&mut m, &ChannelSpec::prime_probe(ProbeKind::Store), &payload, false)
-            .expect("channel runs");
+        let r =
+            run_channel_in(session, &ChannelSpec::prime_probe(ProbeKind::Store), &payload, false)
+                .expect("channel runs");
         (margin, r.error_rate_pct)
     });
     for (smc_extra, (margin, error_pct)) in surcharges.iter().zip(results) {
@@ -56,16 +63,20 @@ pub fn frontend_ablation(mode: Mode) {
     let samples = mode.pick(50, 500);
     let mut t = Table::new(&["front-end", "execute L1i (cycles)", "execute L2 (cycles)", "margin"]);
     let variants = [("pipelined (real)", true), ("naive (exposed)", false)];
-    let results = Runner::from_env().run(variants.len(), |i| {
-        let hidden = variants[i].1;
+    let spec_for = |i: usize| -> Scenario {
         let mut profile = MicroArch::CascadeLake.profile();
-        if !hidden {
+        if !variants[i].1 {
             profile.hierarchy.ifetch_extra_l2 = profile.hierarchy.lat_l2;
         }
-        let mut m = Machine::new(profile);
-        let row =
-            smack::characterize::figure1_mastik_row(&mut m, smack_uarch::ThreadId::T0, samples)
-                .expect("mastik row runs");
+        Scenario::custom(profile)
+    };
+    let results = Runner::from_env().run_scenarios(spec_for, variants.len(), |session, _| {
+        let row = smack::characterize::figure1_mastik_row(
+            session.machine(),
+            smack_uarch::ThreadId::T0,
+            samples,
+        )
+        .expect("mastik row runs");
         let mean = |st: smack_uarch::Placement| -> f64 {
             row.iter().find(|c| c.state == st).map(|c| c.stats.mean).unwrap_or(f64::NAN)
         };
@@ -87,12 +98,15 @@ pub fn timer_resolution_sweep(mode: Mode) {
     let payload = random_payload(bits, 0xab2);
     let mut t = Table::new(&["tsc resolution (cycles)", "error rate (%)"]);
     let resolutions = [1u32, 7, 21, 63, 127, 255];
-    let errors = Runner::from_env().run(resolutions.len(), |i| {
+    let spec_for = |i: usize| -> Scenario {
         let mut profile = MicroArch::CascadeLake.profile();
         profile.tsc_resolution = resolutions[i];
-        let mut m = Machine::new(profile);
-        let r = run_channel(&mut m, &ChannelSpec::prime_probe(ProbeKind::Store), &payload, false)
-            .expect("channel runs");
+        Scenario::custom(profile).with_noise(NoiseConfig::noisy())
+    };
+    let errors = Runner::from_env().run_scenarios(spec_for, resolutions.len(), |session, _| {
+        let r =
+            run_channel_in(session, &ChannelSpec::prime_probe(ProbeKind::Store), &payload, false)
+                .expect("channel runs");
         r.error_rate_pct
     });
     for (res, error_pct) in resolutions.iter().zip(errors) {
@@ -117,15 +131,15 @@ pub fn tau_w_sweep(mode: Mode) {
     let exp = Bignum::random_bits(&mut rng, bits);
     let mut t = Table::new(&["wait (cycles)", "single-trace recovery"]);
     let waits = [50u64, 100, 200, 400, 800, 1600];
-    let rates = Runner::from_env().run(waits.len(), |i| {
+    let scenario = Scenario::new(MicroArch::TigerLake).with_seed(7);
+    let rates = Runner::from_env().run_scenarios(scenario, waits.len(), |session, i| {
         let cfg = RsaAttackConfig {
             wait_cycles: waits[i],
             noise: NoiseConfig::quiet(),
             ..RsaAttackConfig::new(ProbeKind::Flush)
         };
         let victim = rsa::build_victim(&cfg);
-        let trace = rsa::collect_trace(MicroArch::TigerLake, &victim, &exp, &cfg, 7)
-            .expect("trace collects");
+        let trace = rsa::collect_trace_in(session, &victim, &exp, &cfg).expect("trace collects");
         rsa::score_bits(&rsa::decode_trace(&trace, exp.bit_len()), &exp)
     });
     for (wait, rate) in waits.iter().zip(rates) {
@@ -162,12 +176,12 @@ pub fn countermeasure(mode: Mode) {
         ("square-and-multiply (Libgcrypt 1.5.1)", ModexpAlgorithm::BinaryLtr),
         ("Montgomery ladder (constant-time)", ModexpAlgorithm::MontgomeryLadder),
     ];
-    let results = Runner::from_env().run(victims.len(), |i| {
+    let scenario = Scenario::new(MicroArch::TigerLake).with_seed(11);
+    let results = Runner::from_env().run_scenarios(scenario, victims.len(), |session, i| {
         let mut b = ModexpVictimBuilder::new(victims[i].1);
         b.operand_bits(cfg.operand_bits);
         let victim = b.build();
-        let trace = rsa::collect_trace(MicroArch::TigerLake, &victim, &exp, &cfg, 11)
-            .expect("trace collects");
+        let trace = rsa::collect_trace_in(session, &victim, &exp, &cfg).expect("trace collects");
         let decoded = rsa::decode_trace(&trace, exp.bit_len());
         let rate = rsa::score_bits(&decoded, &exp);
         let ones = decoded.iter().filter(|b| **b).count() as f64 / decoded.len().max(1) as f64;
@@ -200,29 +214,31 @@ pub fn sibling_slowdown(mode: Mode) {
     let mut t =
         Table::new(&["attacker behaviour", "victim instructions / 100k cycles", "slowdown"]);
     let behaviours = [("idle", false), ("Prime+iStore storm", true)];
-    let retired_counts = Runner::from_env().run(behaviours.len(), |i| {
-        let attack = behaviours[i].1;
-        let mut m = Machine::new(MicroArch::CascadeLake.profile());
-        let mut a = Assembler::new(0x60_0000);
-        a.label("spin").add_imm(Reg::R2, 1).jmp("spin");
-        let prog = a.assemble().expect("victim assembles");
-        m.load_program(&prog);
-        let ev = EvictionSet::for_machine(&m, 0x10_0000, 7);
-        ev.install(&mut m);
-        let mut p = Prober::new(ThreadId::T0);
-        m.start_program(ThreadId::T1, prog.entry(), &[]);
-        let before = m.counters(ThreadId::T1).snapshot();
-        let start = m.clock(ThreadId::T0);
-        while m.clock(ThreadId::T0) - start < 100_000 {
-            if attack {
-                ev.prime(&mut m, &mut p).expect("prime");
-                ev.probe(&mut m, &mut p, ProbeKind::Store).expect("probe");
-            } else {
-                m.advance(ThreadId::T0, 500).expect("advance");
+    let scenario = Scenario::new(MicroArch::CascadeLake);
+    let retired_counts =
+        Runner::from_env().run_scenarios(scenario, behaviours.len(), |session, i| {
+            let attack = behaviours[i].1;
+            let m: &mut smack_uarch::Machine = session.machine();
+            let mut a = Assembler::new(0x60_0000);
+            a.label("spin").add_imm(Reg::R2, 1).jmp("spin");
+            let prog = a.assemble().expect("victim assembles");
+            m.load_program(&prog);
+            let ev = EvictionSet::for_machine(m, 0x10_0000, 7);
+            ev.install(m);
+            let mut p = Prober::new(ThreadId::T0);
+            m.start_program(ThreadId::T1, prog.entry(), &[]);
+            let before = m.counters(ThreadId::T1).snapshot();
+            let start = m.clock(ThreadId::T0);
+            while m.clock(ThreadId::T0) - start < 100_000 {
+                if attack {
+                    ev.prime(m, &mut p).expect("prime");
+                    ev.probe(m, &mut p, ProbeKind::Store).expect("probe");
+                } else {
+                    m.advance(ThreadId::T0, 500).expect("advance");
+                }
             }
-        }
-        m.counters(ThreadId::T1).delta(&before, PerfEvent::InstRetired) as f64
-    });
+            m.counters(ThreadId::T1).delta(&before, PerfEvent::InstRetired) as f64
+        });
     let baseline = retired_counts[0];
     for ((label, _), retired) in behaviours.iter().zip(&retired_counts) {
         let slowdown = if *retired > 0.0 { baseline / retired } else { f64::INFINITY };

@@ -3,13 +3,21 @@
 //! Each function prints the paper-comparable rows, writes a CSV under
 //! `target/repro/`, and returns its headline numbers so `EXPERIMENTS.md`
 //! and the integration tests can assert on shapes.
+//!
+//! Every experiment fans its trials out through
+//! [`Runner::run_scenarios`], so each trial closure receives a pooled
+//! [`Session`](smack::Session) instead of constructing `Machine`s and
+//! calibrating inline: machine construction is amortized across trials,
+//! and a probe threshold is calibrated at most once per
+//! `(profile, probe class, cold placement, noise)` for the whole process.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use smack::channel::{random_payload, run_channel, ChannelSpec};
+use smack::channel::{random_payload, run_channel_in, ChannelSpec};
 use smack::characterize::{figure1, figure1_mastik_row, figure2};
-use smack::ispectre::{applicability, leak_secret, Applicability, ISpectreConfig};
+use smack::ispectre::{applicability_in, leak_secret_in, Applicability, ISpectreConfig};
 use smack::rsa::{self, RsaAttackConfig};
+use smack::session::{Scenario, Sessions};
 use smack::srp::{self, SrpAttackConfig};
 use smack_crypto::Bignum;
 use smack_mastik::MastikMonitor;
@@ -24,14 +32,15 @@ use crate::Mode;
 pub fn fig1(mode: Mode) -> f64 {
     banner("Figure 1 — probe timing per microarchitectural state (Cascade Lake)");
     let samples = mode.pick(100, 10_000);
-    let mut results = Runner::from_env().run(2, |i| {
-        let mut m = Machine::new(MicroArch::CascadeLake.profile());
-        if i == 0 {
-            figure1(&mut m, ThreadId::T0, samples).expect("characterization runs")
-        } else {
-            figure1_mastik_row(&mut m, ThreadId::T0, samples).expect("mastik row runs")
-        }
-    });
+    let mut results =
+        Runner::from_env().run_scenarios(Scenario::new(MicroArch::CascadeLake), 2, |session, i| {
+            let m = session.machine();
+            if i == 0 {
+                figure1(m, ThreadId::T0, samples).expect("characterization runs")
+            } else {
+                figure1_mastik_row(m, ThreadId::T0, samples).expect("mastik row runs")
+            }
+        });
     let mastik = results.pop().expect("two jobs ran");
     let cells = results.pop().expect("two jobs ran");
 
@@ -79,10 +88,13 @@ pub fn fig2(mode: Mode) {
     banner("Figure 2 — SMC reverse engineering via performance counters");
     let reps = mode.pick(200, 10_000);
     let arches = [MicroArch::CascadeLake, MicroArch::AmdRyzen5];
-    let per_arch = Runner::from_env().run(arches.len(), |i| {
-        let mut m = Machine::new(arches[i].profile());
-        figure2(&mut m, ThreadId::T0, reps).expect("counter profiling runs")
-    });
+    let per_arch = Runner::from_env().run_scenarios(
+        |i: usize| Scenario::new(arches[i]),
+        arches.len(),
+        |session, _| {
+            figure2(session.machine(), ThreadId::T0, reps).expect("counter profiling runs")
+        },
+    );
     for (arch, profiles) in arches.iter().zip(per_arch) {
         println!("--- {arch} ---");
         let events = smack::characterize::FIGURE2_EVENTS;
@@ -132,14 +144,19 @@ pub fn table1(mode: Mode) -> Vec<ChannelRow> {
     let payload = random_payload(bits, 0x7ab1e1);
     let specs = ChannelSpec::table1();
     // One trial per channel spec, plus the paper's AMD note as a final
-    // trial: Prime+iLock on Ryzen 5 is slower and noisier.
-    let outcomes = Runner::from_env().run(specs.len() + 1, |i| {
+    // trial: Prime+iLock on Ryzen 5 is slower and noisier. Channels
+    // transmit under the noisy model, so the scenarios carry it (the
+    // machine seed and RNG stream are unchanged: the old path flipped a
+    // fresh quiet machine to noisy before its first random draw).
+    let spec_for = |i: usize| -> Scenario {
+        let arch = if i < specs.len() { MicroArch::CascadeLake } else { MicroArch::AmdRyzen5 };
+        Scenario::new(arch).with_noise(NoiseConfig::noisy())
+    };
+    let outcomes = Runner::from_env().run_scenarios(spec_for, specs.len() + 1, |session, i| {
         if i < specs.len() {
-            let mut m = Machine::new(MicroArch::CascadeLake.profile());
-            run_channel(&mut m, &specs[i], &payload, false)
+            run_channel_in(session, &specs[i], &payload, false)
         } else {
-            let mut m = Machine::new(MicroArch::AmdRyzen5.profile());
-            run_channel(&mut m, &ChannelSpec::prime_probe(ProbeKind::Lock), &payload, false)
+            run_channel_in(session, &ChannelSpec::prime_probe(ProbeKind::Lock), &payload, false)
         }
     });
     let mut rows = Vec::new();
@@ -197,9 +214,11 @@ pub fn fig3(mode: Mode) {
     let bits = mode.pick(24, 48);
     // A recognizable pattern, as in the paper's plot.
     let payload: Vec<bool> = (0..bits).map(|i| matches!(i % 4, 0 | 2 | 3)).collect();
-    let mut m = Machine::new(MicroArch::TigerLake.profile());
-    let r = run_channel(&mut m, &ChannelSpec::prime_probe(ProbeKind::Store), &payload, true)
-        .expect("channel runs");
+    let mut session = Sessions::global()
+        .session(&Scenario::new(MicroArch::TigerLake).with_noise(NoiseConfig::noisy()));
+    let r =
+        run_channel_in(&mut session, &ChannelSpec::prime_probe(ProbeKind::Store), &payload, true)
+            .expect("channel runs");
     let mut t = Table::new(&["sample", "clock", "min way timing", "activity", "slot", "sent bit"]);
     for (i, p) in r.trace.iter().enumerate() {
         t.row(vec![
@@ -230,7 +249,9 @@ pub fn fig4(mode: Mode) {
     let exp = Bignum::random_bits(&mut rng, bits);
     let cfg = RsaAttackConfig::new(ProbeKind::Store);
     let victim = rsa::build_victim(&cfg);
-    let trace = rsa::collect_trace(MicroArch::TigerLake, &victim, &exp, &cfg, 0xf4).expect("trace");
+    let mut session = Sessions::global()
+        .session(&Scenario::new(MicroArch::TigerLake).with_noise(cfg.noise).with_seed(0xf4));
+    let trace = rsa::collect_trace_in(&mut session, &victim, &exp, &cfg).expect("trace");
     let mut t = Table::new(&["sample", "min timing", "activity"]);
     for (i, sample) in trace.samples.iter().enumerate().take(400) {
         t.row(vec![s(i), s(sample.min_timing), s(if sample.active { "*" } else { "" })]);
@@ -273,41 +294,41 @@ pub fn fig5(mode: Mode) -> Vec<Fig5Row> {
     let exp = Bignum::random_bits(&mut rng, bits);
     let kinds = [ProbeKind::Flush, ProbeKind::Store, ProbeKind::Lock, ProbeKind::Clwb];
     // One trial per probe class; each trial's trace sequence keeps its
-    // sequential early-exit semantics (stop at the first 70% vote).
-    let rows: Vec<Fig5Row> = Runner::from_env().run(kinds.len(), |ki| {
-        let kind = kinds[ki];
-        let cfg = RsaAttackConfig::new(kind);
-        let victim = rsa::build_victim(&cfg);
-        let mut decodes: Vec<Vec<bool>> = Vec::new();
-        let mut aligned_rates = Vec::new();
-        let mut positional_single = 0.0;
-        let mut used = None;
-        for trace_idx in 0..max_traces {
-            let trace = rsa::collect_trace(
-                MicroArch::TigerLake,
-                &victim,
-                &exp,
-                &cfg,
-                2_000 + trace_idx as u64,
-            )
-            .expect("attack runs");
-            let decoded = rsa::decode_trace(&trace, exp.bit_len());
-            if trace_idx == 0 {
-                positional_single = rsa::score_bits(&decoded, &exp);
+    // sequential early-exit semantics (stop at the first 70% vote). The
+    // trial renews its one pooled session per trace instead of building a
+    // machine per trace.
+    // All four probe classes attack under the default realistic noise.
+    let scenario = Scenario::new(MicroArch::TigerLake).with_noise(NoiseConfig::realistic());
+    let rows: Vec<Fig5Row> =
+        Runner::from_env().run_scenarios(scenario, kinds.len(), |session, ki| {
+            let kind = kinds[ki];
+            let cfg = RsaAttackConfig::new(kind);
+            let victim = rsa::build_victim(&cfg);
+            let mut decodes: Vec<Vec<bool>> = Vec::new();
+            let mut aligned_rates = Vec::new();
+            let mut positional_single = 0.0;
+            let mut used = None;
+            for trace_idx in 0..max_traces {
+                session.renew(2_000 + trace_idx as u64);
+                let trace =
+                    rsa::collect_trace_in(session, &victim, &exp, &cfg).expect("attack runs");
+                let decoded = rsa::decode_trace(&trace, exp.bit_len());
+                if trace_idx == 0 {
+                    positional_single = rsa::score_bits(&decoded, &exp);
+                }
+                decodes.push(decoded);
+                let combined = rsa::majority_vote(&decodes, exp.bit_len());
+                let rate = rsa::score_bits_aligned(&combined, &exp);
+                aligned_rates.push(rate);
+                if rate >= 0.70 && used.is_none() {
+                    used = Some(trace_idx + 1);
+                    break;
+                }
             }
-            decodes.push(decoded);
-            let combined = rsa::majority_vote(&decodes, exp.bit_len());
-            let rate = rsa::score_bits_aligned(&combined, &exp);
-            aligned_rates.push(rate);
-            if rate >= 0.70 && used.is_none() {
-                used = Some(trace_idx + 1);
-                break;
-            }
-        }
-        let single = aligned_rates.first().copied().unwrap_or(0.0);
-        let best = aligned_rates.iter().cloned().fold(0.0f64, f64::max);
-        Fig5Row { kind, single_trace: single, positional_single, traces_for_70: used, best }
-    });
+            let single = aligned_rates.first().copied().unwrap_or(0.0);
+            let best = aligned_rates.iter().cloned().fold(0.0f64, f64::max);
+            Fig5Row { kind, single_trace: single, positional_single, traces_for_70: used, best }
+        });
     let mut t = Table::new(&[
         "probe",
         "single-trace (aligned)",
@@ -352,15 +373,23 @@ pub fn table2_rows(mode: Mode, runner: &Runner) -> Vec<Table2Row> {
     let keys = mode.pick(3, 100);
     let exp_bits = mode.pick(160, 0); // 0 = full group size
     let groups = smack_crypto::SrpGroup::PAPER_SIZES;
-    let cells = runner.run(groups.len() * keys, |t| {
+    // Both monitors run under the noisy model with the key index as the
+    // machine seed; the trial renews its session between the SMaCk attack
+    // and the Mastik baseline (same seed → same machine state either way).
+    let spec_for = |t: usize| -> Scenario {
+        Scenario::new(MicroArch::TigerLake)
+            .with_noise(NoiseConfig::noisy())
+            .with_seed((t % keys) as u64)
+    };
+    let cells = runner.run_scenarios(spec_for, groups.len() * keys, |session, t| {
         let (group, key) = (groups[t / keys], t % keys);
         let mut rng = SmallRng::seed_from_u64(0x7b + key as u64);
         let nbits = if exp_bits == 0 { group } else { exp_bits };
         let b = Bignum::random_bits(&mut rng, nbits);
         let cfg = SrpAttackConfig { noise: NoiseConfig::noisy(), ..SrpAttackConfig::new(group) };
-        let out = srp::single_trace_attack(MicroArch::TigerLake, &b, &cfg, key as u64)
-            .expect("smc attack runs");
-        (out.leakage, mastik_srp_leakage(group, &b, key as u64))
+        let out = srp::single_trace_attack_in(session, &b, &cfg).expect("smc attack runs");
+        session.renew(key as u64);
+        (out.leakage, mastik_srp_leakage_on(session.machine(), group, &b))
     });
     groups
         .iter()
@@ -405,8 +434,10 @@ fn collect_detection_dataset(
     cfg: &smack_detection::DetectionConfig,
 ) -> (Vec<smack_detection::CounterDelta>, Vec<smack_detection::CounterDelta>) {
     let units = smack_detection::dataset_units();
-    let windows = Runner::from_env().run(units.len(), |i| {
-        smack_detection::collect_unit(arch, units[i], cfg).expect("dataset unit collects")
+    let spec_for = |i: usize| Scenario::new(arch).with_noise(cfg.noise).with_seed(units[i].seed());
+    let windows = Runner::from_env().run_scenarios(spec_for, units.len(), |session, i| {
+        smack_detection::collect_unit_on(session.machine(), units[i], cfg)
+            .expect("dataset unit collects")
     });
     let mut benign = Vec::new();
     let mut attacks = Vec::new();
@@ -421,14 +452,13 @@ fn collect_detection_dataset(
     (benign, attacks)
 }
 
-/// Run the Mastik baseline against the SRP victim; returns the leakage.
-fn mastik_srp_leakage(group_bits: usize, b: &Bignum, seed: u64) -> f64 {
+/// Run the Mastik baseline against the SRP victim on a machine in its
+/// cold start state; returns the leakage.
+fn mastik_srp_leakage_on(machine: &mut Machine, group_bits: usize, b: &Bignum) -> f64 {
     let victim = srp::build_victim(group_bits, b.bit_len());
-    let mut machine =
-        Machine::with_noise(MicroArch::TigerLake.profile(), NoiseConfig::noisy(), seed);
     machine.load_program(&victim.program);
     let mut monitor =
-        match MastikMonitor::new(&mut machine, ThreadId::T0, 0x0a50_0000, victim.mul_set, 600) {
+        match MastikMonitor::new(machine, ThreadId::T0, 0x0a50_0000, victim.mul_set, 600) {
             Ok(m) => m,
             Err(_) => return 0.0,
         };
@@ -436,7 +466,7 @@ fn mastik_srp_leakage(group_bits: usize, b: &Bignum, seed: u64) -> f64 {
         monitor.sample(m).map_err(|e| e.to_string())
     };
     let max_samples = group_bits * 60 + 10_000;
-    let samples = match srp::collect_events(&mut machine, &victim, b, sampler, max_samples) {
+    let samples = match srp::collect_events(machine, &victim, b, sampler, max_samples) {
         Ok(s) => s,
         Err(_) => return 0.0,
     };
@@ -453,7 +483,9 @@ pub fn fig6(mode: Mode) {
     let mut rng = SmallRng::seed_from_u64(0xf6);
     let b = Bignum::random_bits(&mut rng, exp_bits);
     let cfg = SrpAttackConfig::new(6144);
-    let out = srp::single_trace_attack(MicroArch::TigerLake, &b, &cfg, 0xf6).expect("attack runs");
+    let mut session = Sessions::global()
+        .session(&Scenario::new(MicroArch::TigerLake).with_noise(cfg.noise).with_seed(0xf6));
+    let out = srp::single_trace_attack_in(&mut session, &b, &cfg).expect("attack runs");
     let events = srp::event_times(&out.samples);
     let measured = srp::measured_square_runs(&out.samples);
     let schedule = smack_crypto::modexp::sliding_window_schedule(&b);
@@ -497,12 +529,17 @@ pub fn table3(mode: Mode) -> Vec<(MicroArch, Vec<Applicability>)> {
     let names: Vec<String> = MicroArch::ALL.iter().map(|a| a.name().to_owned()).collect();
     header.extend(names.iter().map(|n| n.as_str()));
     let mut t = Table::new(&header);
-    // One trial per microarchitecture, each sweeping all probe classes.
-    let columns = Runner::from_env().run(MicroArch::ALL.len(), |i| {
+    // One trial per microarchitecture, each sweeping all probe classes on
+    // one pooled session renewed (reset to the canonical seed) per class.
+    let spec_for = |i: usize| -> Scenario {
+        Scenario::new(MicroArch::ALL[i]).with_noise(NoiseConfig::realistic()).with_seed(0x7ab3)
+    };
+    let columns = Runner::from_env().run_scenarios(spec_for, MicroArch::ALL.len(), |session, _| {
         ProbeKind::ALL
             .iter()
             .map(|kind| {
-                applicability(MicroArch::ALL[i], *kind, 0x7ab3).unwrap_or(Applicability::NoLeak)
+                session.renew(0x7ab3);
+                applicability_in(session, *kind).unwrap_or(Applicability::NoLeak)
             })
             .collect::<Vec<Applicability>>()
     });
@@ -556,11 +593,17 @@ pub fn table4(mode: Mode) -> Vec<Table4Row> {
     ];
     let arches = [MicroArch::CascadeLake, MicroArch::AmdRyzen5];
     // One trial per (processor, probe) cell.
-    let cells = Runner::from_env().run(arches.len() * kinds.len(), |t| {
-        let (arch, kind) = (arches[t / kinds.len()], kinds[t % kinds.len()]);
-        let cfg = ISpectreConfig::new(kind);
-        (arch, kind, leak_secret(arch, &secret, &cfg, 0x7ab4))
-    });
+    let spec_for = |t: usize| -> Scenario {
+        Scenario::new(arches[t / kinds.len()])
+            .with_noise(NoiseConfig::realistic())
+            .with_seed(0x7ab4)
+    };
+    let cells =
+        Runner::from_env().run_scenarios(spec_for, arches.len() * kinds.len(), |session, t| {
+            let (arch, kind) = (arches[t / kinds.len()], kinds[t % kinds.len()]);
+            let cfg = ISpectreConfig::new(kind);
+            (arch, kind, leak_secret_in(session, &secret, &cfg))
+        });
     let mut rows = Vec::new();
     let mut t = Table::new(&["processor", "probe", "B/s", "success (%)"]);
     for (arch, kind, outcome) in cells {

@@ -19,8 +19,10 @@
 //! | `table5` | §6.1 — detection accuracy / F-score / FPR |
 //! | `all` | everything above in sequence |
 //!
-//! Every harness accepts `--full` for paper-scale sample counts; the
-//! default is a quick mode sized for CI.
+//! Every harness accepts `--full` for paper-scale sample counts (the
+//! default is a quick mode sized for CI) and `--threads N` to set the
+//! trial-runner worker count without environment plumbing (mirroring —
+//! and taking precedence over — `SMACK_BENCH_THREADS`).
 
 pub mod ablations;
 pub mod experiments;
@@ -37,9 +39,16 @@ pub enum Mode {
 }
 
 impl Mode {
-    /// Parse from process args: `--full` selects [`Mode::Full`].
+    /// Parse the harness CLI from the process args: `--full` selects
+    /// [`Mode::Full`], and `--threads N` (or `--threads=N`) sets the
+    /// trial-runner worker count for the whole process (the CLI mirror of
+    /// `SMACK_BENCH_THREADS`; the flag wins when both are given).
     pub fn from_args() -> Mode {
-        if std::env::args().any(|a| a == "--full") {
+        let args: Vec<String> = std::env::args().collect();
+        if let Some(threads) = parse_threads(&args) {
+            runner::set_thread_override(threads);
+        }
+        if args.iter().any(|a| a == "--full") {
             Mode::Full
         } else {
             Mode::Quick
@@ -52,5 +61,40 @@ impl Mode {
             Mode::Quick => quick,
             Mode::Full => full,
         }
+    }
+}
+
+/// Extract the worker count from `--threads N` / `--threads=N`, if given
+/// and valid (zero and unparsable values are ignored).
+fn parse_threads(args: &[String]) -> Option<usize> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = if a == "--threads" {
+            it.next().cloned()
+        } else {
+            a.strip_prefix("--threads=").map(str::to_owned)
+        };
+        if let Some(n) = value.and_then(|v| v.parse::<usize>().ok()).filter(|n| *n > 0) {
+            return Some(n);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| (*a).to_owned()).collect()
+    }
+
+    #[test]
+    fn threads_flag_parses_both_spellings() {
+        assert_eq!(parse_threads(&strings(&["bin", "--threads", "4"])), Some(4));
+        assert_eq!(parse_threads(&strings(&["bin", "--threads=8", "--full"])), Some(8));
+        assert_eq!(parse_threads(&strings(&["bin", "--full"])), None);
+        assert_eq!(parse_threads(&strings(&["bin", "--threads", "zero"])), None);
+        assert_eq!(parse_threads(&strings(&["bin", "--threads", "0"])), None);
     }
 }

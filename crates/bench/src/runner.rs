@@ -7,12 +7,59 @@
 //! trial derives its RNG seed from its own index, never from shared
 //! state — makes parallel output bit-identical to sequential output.
 //!
-//! The worker count comes from `SMACK_BENCH_THREADS` (set it to `1` to
-//! benchmark the sequential baseline) and defaults to the machine's
-//! available parallelism.
+//! [`Runner::run_scenarios`] is the session-layer entry point every
+//! `fig*`/`table*` harness uses: each trial closure receives a
+//! [`Session`] checked out from the process-wide [`Sessions`] registry —
+//! a pooled machine in the scenario's exact cold start state plus the
+//! shared calibration cache — instead of constructing `Machine`s and
+//! calibrating inline. Machine reuse and cached calibrations are
+//! unobservable to the trials (a reset machine is bit-identical to a
+//! fresh one, and calibrations are pure functions of their cache key), so
+//! the parallel-equals-sequential guarantee carries over unchanged.
+//!
+//! The worker count comes from the `--threads N` CLI flag (stored via
+//! [`set_thread_override`]) or the `SMACK_BENCH_THREADS` environment
+//! variable (set either to `1` to benchmark the sequential baseline), and
+//! defaults to the machine's available parallelism.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use smack::session::{Scenario, Session, Sessions};
+
+/// Process-wide worker-count override from the `--threads` CLI flag
+/// (0 = unset). Takes precedence over `SMACK_BENCH_THREADS`.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Record the `--threads N` CLI flag for [`Runner::from_env`] (the flag
+/// mirrors `SMACK_BENCH_THREADS` and wins over it when both are set).
+pub fn set_thread_override(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
+/// Maps each trial index to the [`Scenario`] its session is checked out
+/// for. Implemented by [`Scenario`] itself (every trial identical — the
+/// common case) and by `Fn(usize) -> Scenario` closures (per-trial
+/// microarchitectures or seeds).
+pub trait ScenarioSpec: Sync {
+    /// The scenario for trial `trial`.
+    fn scenario(&self, trial: usize) -> Scenario;
+}
+
+impl ScenarioSpec for Scenario {
+    fn scenario(&self, _trial: usize) -> Scenario {
+        self.clone()
+    }
+}
+
+impl<F> ScenarioSpec for F
+where
+    F: Fn(usize) -> Scenario + Sync,
+{
+    fn scenario(&self, trial: usize) -> Scenario {
+        self(trial)
+    }
+}
 
 /// A pool configuration for running independent trials.
 #[derive(Copy, Clone, Debug)]
@@ -31,9 +78,14 @@ impl Runner {
         Runner::with_threads(1)
     }
 
-    /// The standard runner: `SMACK_BENCH_THREADS` if set and valid,
-    /// otherwise the machine's available parallelism.
+    /// The standard runner: the `--threads` CLI override if set, then
+    /// `SMACK_BENCH_THREADS` if set and valid, otherwise the machine's
+    /// available parallelism.
     pub fn from_env() -> Runner {
+        let override_threads = THREAD_OVERRIDE.load(Ordering::Relaxed);
+        if override_threads > 0 {
+            return Runner::with_threads(override_threads);
+        }
         let threads = std::env::var("SMACK_BENCH_THREADS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
@@ -95,6 +147,32 @@ impl Runner {
             .into_iter()
             .map(|s| s.expect("every trial index was visited"))
             .collect()
+    }
+
+    /// Run `n` session-backed trials and collect the results in index
+    /// order — the single entry point for every `fig*`/`table*` harness.
+    ///
+    /// Each trial receives a [`Session`] checked out from
+    /// [`Sessions::global`] for `spec.scenario(i)`: a pooled machine in
+    /// the exact `Machine::with_noise(profile, noise, seed)` cold start
+    /// state, plus the process-wide calibration cache. As with
+    /// [`Runner::run`], `f` must derive any randomness from the trial
+    /// index or the scenario, so parallel output is bit-identical to
+    /// sequential output.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any trial.
+    pub fn run_scenarios<S, T, F>(&self, spec: S, n: usize, f: F) -> Vec<T>
+    where
+        S: ScenarioSpec,
+        T: Send,
+        F: Fn(&mut Session<'_>, usize) -> T + Sync,
+    {
+        self.run(n, |i| {
+            let mut session = Sessions::global().session(&spec.scenario(i));
+            f(&mut session, i)
+        })
     }
 }
 

@@ -19,9 +19,10 @@ use smack_uarch::{
     Addr, Machine, NoiseConfig, Placement, ProbeKind, SmcBehavior, StepError, ThreadId,
 };
 
-use crate::calibrate::calibrate_with_cold;
+use crate::calibrate::{calibrate_with_cold, CalibratedProbe};
 use crate::oracle::{EvictionSet, OraclePage};
 use crate::probe::Prober;
+use crate::session::Session;
 
 /// Covert-channel family.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -171,8 +172,20 @@ const SENDER_BASE: u64 = 0x0b00_0000;
 const SHARED_BASE: u64 = 0x0c00_0000;
 const SCRATCH_BASE: u64 = 0x0d00_0000;
 
+/// The cold placement the receiver's probe sees in each family:
+/// Prime+iProbe reads just-evicted (L2-resident) lines, Flush+iReload
+/// reads flushed-to-DRAM lines.
+fn cold_placement(family: ChannelFamily) -> Placement {
+    match family {
+        ChannelFamily::PrimeProbe => Placement::L2,
+        ChannelFamily::FlushReload => Placement::DramOnly,
+    }
+}
+
 /// Run a covert channel transmitting `payload`, recording a trace when
-/// `record_trace` is set.
+/// `record_trace` is set. Calibrates the receiver's probe threshold on
+/// this machine (the standalone path; session-driven harnesses use
+/// [`run_channel_in`] and the shared calibration cache instead).
 ///
 /// # Errors
 ///
@@ -185,6 +198,44 @@ pub fn run_channel(
     record_trace: bool,
 ) -> Result<ChannelReport, String> {
     spec.applicability(machine).map_err(|e| format!("{}: {e}", spec.name()))?;
+    run_channel_inner(machine, spec, payload, record_trace, None)
+}
+
+/// Run a covert channel inside a [`Session`]: the machine comes from the
+/// pool and the receiver's threshold from the calibration cache (computed
+/// once per `(profile, probe class, cold placement, noise)` per process).
+///
+/// # Errors
+///
+/// Returns a description when the channel is inapplicable (the paper's N/A
+/// rows), or propagates simulator errors as strings.
+pub fn run_channel_in(
+    session: &mut Session<'_>,
+    spec: &ChannelSpec,
+    payload: &[bool],
+    record_trace: bool,
+) -> Result<ChannelReport, String> {
+    // Applicability first, like the standalone path: an N/A row must
+    // report its reason, not a calibration error, and must not cost a
+    // calibration pass.
+    spec.applicability(session.machine()).map_err(|e| format!("{}: {e}", spec.name()))?;
+    // Channels always transmit under the noisy model (see below), so the
+    // threshold must be calibrated under it too.
+    let cal = session
+        .calibrated_for(spec.kind, cold_placement(spec.family), NoiseConfig::noisy())
+        .map_err(|e| format!("{}: {e}", spec.name()))?;
+    run_channel_inner(session.machine(), spec, payload, record_trace, Some(cal))
+}
+
+/// The transmission body shared by both entry points. Callers have
+/// already checked [`ChannelSpec::applicability`].
+fn run_channel_inner(
+    machine: &mut Machine,
+    spec: &ChannelSpec,
+    payload: &[bool],
+    record_trace: bool,
+    cal_override: Option<CalibratedProbe>,
+) -> Result<ChannelReport, String> {
     machine.set_noise(NoiseConfig::noisy());
     let step = |e: StepError| format!("{}: {e}", spec.name());
 
@@ -212,12 +263,14 @@ pub fn run_channel(
             (None, shared.line(0))
         }
     };
-    let cold = match spec.family {
-        ChannelFamily::PrimeProbe => Placement::L2,
-        ChannelFamily::FlushReload => Placement::DramOnly,
+    let cal = match cal_override {
+        Some(cal) => cal,
+        None => {
+            let cold = cold_placement(spec.family);
+            calibrate_with_cold(machine, RECEIVER, spec.kind, Addr(SCRATCH_BASE), 16, cold)
+                .map_err(step)?
+        }
     };
-    let cal = calibrate_with_cold(machine, RECEIVER, spec.kind, Addr(SCRATCH_BASE), 16, cold)
-        .map_err(step)?;
 
     // --- measure one idle sample to size the bit slot ----------------------
     let sample_probe =

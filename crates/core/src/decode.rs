@@ -119,6 +119,82 @@ pub fn extract_bursts(actives: &[bool]) -> Option<(Vec<Burst>, f64)> {
     Some((bs, unit))
 }
 
+// ---------------------------------------------------------------------------
+// Run-length landmarks
+// ---------------------------------------------------------------------------
+//
+// A decoded bit string is equivalently a sequence of alternating run
+// lengths, and each run boundary is a burst landmark the attacker actually
+// observed (a multiply event). Scoring and multi-trace voting both work at
+// this level, because a ±1 error in one run length shifts every later
+// *position* while leaving every other *landmark* intact.
+
+/// Alternating run lengths starting with the MSB's run of ones:
+/// `[ones, zeros, ones, zeros, ...]`. Empty when the bits do not start
+/// with a one (decodes always set the MSB).
+pub fn to_runs(bits: &[bool]) -> Vec<u32> {
+    let mut runs = Vec::new();
+    let mut current = match bits.first() {
+        Some(true) => true,
+        _ => return runs,
+    };
+    let mut len = 0u32;
+    for b in bits {
+        if *b == current {
+            len += 1;
+        } else {
+            runs.push(len);
+            current = *b;
+            len = 1;
+        }
+    }
+    runs.push(len);
+    runs
+}
+
+/// Align `other`'s run sequence onto `reference`'s with a weighted
+/// longest-common-subsequence: runs may pair only when they share
+/// alternation parity (both ones-runs or both zeros-runs) and differ by at
+/// most one bit, and the alignment maximizes the bits shared by the paired
+/// runs (`min(reference, other)` per pair — every run is nonempty, so each
+/// pair still contributes, and no bonus term is needed that could trade
+/// shared bits for pair count). Returns `(reference index, other's
+/// length)` pairs in reference order — the shared burst landmarks two
+/// traces agree on.
+pub fn align_runs(reference: &[u32], other: &[u32]) -> Vec<(usize, u32)> {
+    let n = reference.len();
+    let m = other.len();
+    let matches = |i: usize, j: usize| -> bool {
+        i % 2 == j % 2 && reference[i - 1].abs_diff(other[j - 1]) <= 1
+    };
+    let pair_score = |i: usize, j: usize| -> u32 { reference[i - 1].min(other[j - 1]) };
+    let mut dp = vec![vec![0u32; m + 1]; n + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            let mut best = dp[i - 1][j].max(dp[i][j - 1]);
+            if matches(i, j) {
+                best = best.max(dp[i - 1][j - 1] + pair_score(i, j));
+            }
+            dp[i][j] = best;
+        }
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (n, m);
+    while i > 0 && j > 0 {
+        if matches(i, j) && dp[i][j] == dp[i - 1][j - 1] + pair_score(i, j) {
+            out.push((i - 1, other[j - 1]));
+            i -= 1;
+            j -= 1;
+        } else if dp[i - 1][j] >= dp[i][j - 1] {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    out.reverse();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +254,40 @@ mod tests {
     fn no_bursts_no_decode() {
         assert!(extract_bursts(&[false; 32]).is_none());
         assert!(extract_bursts(&[false, true, false]).is_none());
+    }
+
+    #[test]
+    fn runs_round_trip() {
+        assert_eq!(to_runs(&[true, false, false, true, true]), vec![1, 2, 2]);
+        assert!(to_runs(&[false, true]).is_empty(), "decodes always set the MSB");
+        assert!(to_runs(&[]).is_empty());
+    }
+
+    #[test]
+    fn alignment_tolerates_off_by_one_runs() {
+        let reference = [1u32, 3, 1, 2, 1];
+        let offset = [1u32, 4, 1, 2, 1];
+        let pairs = align_runs(&reference, &offset);
+        assert_eq!(pairs, vec![(0, 1), (1, 4), (2, 1), (3, 2), (4, 1)]);
+    }
+
+    #[test]
+    fn alignment_skips_spurious_landmarks() {
+        // `other` hallucinated an extra multiply inside the second zero
+        // run: [1,5,...] became [1,2,1,2,...]. The surviving landmarks
+        // still align; the spurious pair is dropped.
+        let reference = [1u32, 5, 1, 3, 1];
+        let other = [1u32, 2, 1, 2, 1, 3, 1];
+        let pairs = align_runs(&reference, &other);
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(3, 3)), "later landmarks re-synchronize: {pairs:?}");
+        assert!(pairs.len() < reference.len(), "the corrupted run cannot align");
+    }
+
+    #[test]
+    fn alignment_respects_parity() {
+        // A ones-run never aligns with a zeros-run even when lengths match.
+        let pairs = align_runs(&[2, 2], &[2]);
+        assert_eq!(pairs, vec![(0, 2)]);
     }
 }

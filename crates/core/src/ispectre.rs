@@ -21,6 +21,7 @@ use smack_uarch::{Machine, MicroArch, NoiseConfig, ProbeKind, SmcBehavior, Threa
 use smack_victims::spectre::{SpectreVictim, ORACLE_SLOTS};
 
 use crate::probe::Prober;
+use crate::session::Session;
 
 const ATTACKER: ThreadId = ThreadId::T0;
 
@@ -157,7 +158,8 @@ fn needs_cleanup_flush(kind: ProbeKind, behavior: SmcBehavior) -> bool {
         || (kind == ProbeKind::Clwb && behavior != SmcBehavior::Triggers)
 }
 
-/// Run the full ISpectre attack against `secret`.
+/// Run the full ISpectre attack against `secret`, on a fresh machine —
+/// the standalone path; session-driven harnesses use [`leak_secret_in`].
 ///
 /// # Errors
 ///
@@ -169,17 +171,41 @@ pub fn leak_secret(
     seed: u64,
 ) -> Result<ISpectreReport, String> {
     let mut m = Machine::with_noise(arch.profile(), cfg.noise, seed);
+    leak_secret_on(&mut m, secret, cfg)
+}
+
+/// Run the full ISpectre attack inside a [`Session`] (the machine must be
+/// in its cold start state — [`Session::renew`] between attacks). The
+/// session's noise model should match `cfg.noise`.
+///
+/// # Errors
+///
+/// Returns a message for unsupported probe classes or simulator errors.
+pub fn leak_secret_in(
+    session: &mut Session<'_>,
+    secret: &[u8],
+    cfg: &ISpectreConfig,
+) -> Result<ISpectreReport, String> {
+    session.require_noise(cfg.noise)?;
+    leak_secret_on(session.machine(), secret, cfg)
+}
+
+fn leak_secret_on(
+    m: &mut Machine,
+    secret: &[u8],
+    cfg: &ISpectreConfig,
+) -> Result<ISpectreReport, String> {
     if m.profile().smc.get(cfg.kind) == SmcBehavior::Unsupported {
-        return Err(format!("{} unsupported on {arch}", cfg.kind));
+        return Err(format!("{} unsupported on {}", cfg.kind, m.profile().arch));
     }
     m.enable_trace(1 << 20);
     let victim = SpectreVictim::build();
-    victim.stage(&mut m, secret);
+    victim.stage(m, secret);
     let mut prober = Prober::new(ATTACKER);
     for s in 0..ORACLE_SLOTS {
         m.warm_tlb(ATTACKER, victim.oracle_slot(s as u8));
     }
-    let hot_is_high = expected_hot_is_high(&m, cfg.kind);
+    let hot_is_high = expected_hot_is_high(m, cfg.kind);
     let behavior = m.profile().smc.get(cfg.kind);
     let err = |e: smack_uarch::StepError| e.to_string();
 
@@ -187,9 +213,9 @@ pub fn leak_secret(
     // probe loop maintains.
     for s in 0..ORACLE_SLOTS {
         let line = victim.oracle_slot(s as u8);
-        prober.measure(&mut m, cfg.kind, line).map_err(err)?;
+        prober.measure(m, cfg.kind, line).map_err(err)?;
         if needs_cleanup_flush(cfg.kind, behavior) {
-            prober.flush_line(&mut m, line).map_err(err)?;
+            prober.flush_line(m, line).map_err(err)?;
         }
     }
 
@@ -216,9 +242,9 @@ pub fn leak_secret(
             scrub.dedup();
             for slot in scrub {
                 let line = victim.oracle_slot(slot as u8);
-                prober.measure(&mut m, cfg.kind, line).map_err(err)?;
+                prober.measure(m, cfg.kind, line).map_err(err)?;
                 if needs_cleanup_flush(cfg.kind, behavior) {
-                    prober.flush_line(&mut m, line).map_err(err)?;
+                    prober.flush_line(m, line).map_err(err)?;
                 }
             }
             // Delay the bounds resolution, then fire the OOB call.
@@ -229,9 +255,9 @@ pub fn leak_secret(
             let mut timings = Vec::with_capacity(ORACLE_SLOTS);
             for s in 0..ORACLE_SLOTS {
                 let line = victim.oracle_slot(s as u8);
-                timings.push(prober.measure(&mut m, cfg.kind, line).map_err(err)?.cycles);
+                timings.push(prober.measure(m, cfg.kind, line).map_err(err)?.cycles);
                 if needs_cleanup_flush(cfg.kind, behavior) {
-                    prober.flush_line(&mut m, line).map_err(err)?;
+                    prober.flush_line(m, line).map_err(err)?;
                 }
             }
             if let Some(b) = decode_round(&timings, hot_is_high, cfg.min_margin) {
@@ -275,9 +301,34 @@ pub fn applicability(arch: MicroArch, kind: ProbeKind, seed: u64) -> Result<Appl
     if arch.profile().smc.get(kind) == SmcBehavior::Unsupported {
         return Ok(Applicability::Unsupported);
     }
-    let secret: Vec<u8> = (0..8u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
     let cfg = ISpectreConfig::new(kind);
-    let report = leak_secret(arch, &secret, &cfg, seed)?;
+    classify(leak_secret(arch, &applicability_secret(), &cfg, seed)?)
+}
+
+/// [`applicability`] inside a [`Session`]: the machine must be in its
+/// cold start state ([`Session::renew`] between probe classes) and the
+/// session's noise must be the [`ISpectreConfig::new`] default.
+///
+/// # Errors
+///
+/// Returns a message on simulator errors other than unsupported
+/// instructions (which classify as ×).
+pub fn applicability_in(
+    session: &mut Session<'_>,
+    kind: ProbeKind,
+) -> Result<Applicability, String> {
+    if session.machine().profile().smc.get(kind) == SmcBehavior::Unsupported {
+        return Ok(Applicability::Unsupported);
+    }
+    let cfg = ISpectreConfig::new(kind);
+    classify(leak_secret_in(session, &applicability_secret(), &cfg)?)
+}
+
+fn applicability_secret() -> Vec<u8> {
+    (0..8u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect()
+}
+
+fn classify(report: ISpectreReport) -> Result<Applicability, String> {
     if report.success_rate < 0.5 {
         return Ok(Applicability::NoLeak);
     }

@@ -9,6 +9,10 @@
 //! * [`characterize`]: the Figure 1 timing characterization and the
 //!   Figure 2 performance-counter reverse engineering.
 //! * [`calibrate`]: hot/cold threshold calibration for each probe class.
+//! * [`session`]: the session layer — a pool of reset-and-reuse machines
+//!   plus a calibration cache keyed by
+//!   `(profile, probe class, cold placement, noise)`, so a campaign
+//!   calibrates once per microarchitecture instead of once per trial.
 //! * [`channel`]: Prime+iProbe and Flush+iReload covert channels (Table 1,
 //!   Figure 3).
 //! * [`rsa`]: the RSA key-recovery attack of Case Study II (Figures 4, 5).
@@ -28,9 +32,11 @@ pub mod ispectre;
 pub mod oracle;
 pub mod probe;
 pub mod rsa;
+pub mod session;
 pub mod srp;
 
 pub use calibrate::CalibratedProbe;
 pub use channel::{ChannelFamily, ChannelReport, ChannelSpec};
 pub use oracle::{EvictionSet, OraclePage};
 pub use probe::Prober;
+pub use session::{CalibrationCache, Scenario, Session, Sessions};

@@ -20,9 +20,11 @@ use smack_crypto::Bignum;
 use smack_uarch::{Machine, MicroArch, NoiseConfig, ProbeKind, ThreadId};
 use smack_victims::modexp::{ModexpAlgorithm, ModexpVictim, ModexpVictimBuilder};
 
-use crate::calibrate::calibrate;
+use crate::calibrate::{calibrate, CalibratedProbe};
+use crate::decode::{align_runs, to_runs};
 use crate::oracle::EvictionSet;
 use crate::probe::Prober;
+use crate::session::Session;
 
 const ATTACKER: ThreadId = ThreadId::T0;
 const VICTIM: ThreadId = ThreadId::T1;
@@ -86,7 +88,9 @@ pub fn build_victim(cfg: &RsaAttackConfig) -> ModexpVictim {
     b.build()
 }
 
-/// Collect one trace of the victim decrypting with exponent `exp`.
+/// Collect one trace of the victim decrypting with exponent `exp`,
+/// building (and calibrating on) a fresh machine — the standalone path;
+/// session-driven harnesses use [`collect_trace_in`].
 ///
 /// # Errors
 ///
@@ -99,31 +103,67 @@ pub fn collect_trace(
     seed: u64,
 ) -> Result<RsaTrace, String> {
     let mut m = Machine::with_noise(arch.profile(), cfg.noise, seed);
+    collect_trace_on(&mut m, victim, exp, cfg, seed, None)
+}
+
+/// Collect one trace inside a [`Session`]: the machine comes from the pool
+/// (in its cold start state — [`Session::renew`] between traces) and the
+/// probe threshold from the calibration cache. The session's noise model
+/// should match `cfg.noise`, and its seed staggers the attacker phase just
+/// as [`collect_trace`]'s `seed` does.
+///
+/// # Errors
+///
+/// Returns a message on simulator errors.
+pub fn collect_trace_in(
+    session: &mut Session<'_>,
+    victim: &ModexpVictim,
+    exp: &Bignum,
+    cfg: &RsaAttackConfig,
+) -> Result<RsaTrace, String> {
+    session.require_noise(cfg.noise)?;
+    // `calibrate`'s default cold state is L2 (a just-evicted line).
+    let cal =
+        session.calibrated(cfg.kind, smack_uarch::Placement::L2).map_err(|e| e.to_string())?;
+    let seed = session.scenario().seed();
+    collect_trace_on(session.machine(), victim, exp, cfg, seed, Some(cal))
+}
+
+fn collect_trace_on(
+    m: &mut Machine,
+    victim: &ModexpVictim,
+    exp: &Bignum,
+    cfg: &RsaAttackConfig,
+    seed: u64,
+    cal_override: Option<CalibratedProbe>,
+) -> Result<RsaTrace, String> {
     m.load_program(&victim.program);
-    let ev = EvictionSet::for_machine(&m, EVSET_BASE, victim.mul_set);
-    ev.install(&mut m);
+    let ev = EvictionSet::for_machine(m, EVSET_BASE, victim.mul_set);
+    ev.install(m);
     for w in ev.ways() {
         m.warm_tlb(ATTACKER, *w);
     }
-    let cal = calibrate(&mut m, ATTACKER, cfg.kind, smack_uarch::Addr(SCRATCH), 12)
-        .map_err(|e| e.to_string())?;
+    let cal = match cal_override {
+        Some(cal) => cal,
+        None => calibrate(m, ATTACKER, cfg.kind, smack_uarch::Addr(SCRATCH), 12)
+            .map_err(|e| e.to_string())?,
+    };
     let mut prober = Prober::new(ATTACKER);
 
     // Stagger the attacker's phase: on real hardware consecutive traces
     // never align with the victim identically, and the decoder's rounding
     // benefits from that diversity during majority voting.
     m.advance(ATTACKER, seed % 997).map_err(|e| e.to_string())?;
-    victim.start(&mut m, VICTIM, exp);
+    victim.start(m, VICTIM, exp);
     let victim_start = m.clock(VICTIM);
     let mut samples = Vec::new();
     let max_samples = exp.bit_len() * 40 + 4_000;
     while m.state(VICTIM) == smack_uarch::ThreadState::Running && samples.len() < max_samples {
         let at = m.clock(ATTACKER);
-        ev.prime(&mut m, &mut prober).map_err(|e| e.to_string())?;
-        prober.wait(&mut m, cfg.wait_cycles).map_err(|e| e.to_string())?;
-        let timings = ev
-            .probe_first(&mut m, &mut prober, cfg.kind, cfg.probe_ways)
-            .map_err(|e| e.to_string())?;
+        ev.prime(m, &mut prober).map_err(|e| e.to_string())?;
+        prober.wait(m, cfg.wait_cycles).map_err(|e| e.to_string())?;
+        let timings =
+            ev.probe_first(m, &mut prober, cfg.kind, cfg.probe_ways).map_err(|e| e.to_string())?;
         let active = timings.iter().any(|t| !cal.is_hit(*t));
         let min_timing = *timings.iter().min().expect("nonempty ways");
         samples.push(ActivitySample { at, min_timing, active });
@@ -202,24 +242,16 @@ pub fn score_bits_aligned(decoded: &[bool], truth: &Bignum) -> f64 {
     if t_runs.is_empty() {
         return 0.0;
     }
-    // Weighted LCS: aligned runs of the same alternation parity credit the
-    // bits they share. A run decoded one too long/short still recovered
-    // the overlapping bits, so near-misses earn `min(d, t)`.
-    let n = d_runs.len();
-    let m = t_runs.len();
-    let mut dp = vec![vec![0u32; m + 1]; n + 1];
-    for i in 1..=n {
-        for j in 1..=m {
-            let mut best = dp[i - 1][j].max(dp[i][j - 1]);
-            // Parity encodes ones/zeros alternation (runs start with ones).
-            if i % 2 == j % 2 && d_runs[i - 1].abs_diff(t_runs[j - 1]) <= 1 {
-                best = best.max(dp[i - 1][j - 1] + d_runs[i - 1].min(t_runs[j - 1]));
-            }
-            dp[i][j] = best;
-        }
-    }
-    let recall = dp[n][m] as f64 / nbits as f64;
-    let precision_factor = if n > m { m as f64 / n as f64 } else { 1.0 };
+    // Aligned runs of the same alternation parity credit the bits they
+    // share: a run decoded one too long/short still recovered the
+    // overlapping bits, so each landmark pair earns `min(d, t)`. The
+    // alignment itself is the shared [`align_runs`] DP that majority
+    // voting anchors on.
+    let recovered: u32 =
+        align_runs(&t_runs, &d_runs).iter().map(|(t, d_len)| t_runs[*t].min(*d_len)).sum();
+    let recall = recovered as f64 / nbits as f64;
+    let precision_factor =
+        if d_runs.len() > t_runs.len() { t_runs.len() as f64 / d_runs.len() as f64 } else { 1.0 };
     recall * precision_factor
 }
 
@@ -228,13 +260,19 @@ pub fn score_bits_aligned(decoded: &[bool], truth: &Bignum) -> f64 {
 /// Bit errors in a single trace are mostly ±1 errors in individual
 /// zero-run lengths, which *shift* all later positions — so positional
 /// voting alone degrades after the first disagreement. Instead, traces are
-/// combined at the zero-run level: among traces whose run structure
-/// matches the modal run count, each run length is the per-index median.
-/// When no quorum of same-structure traces exists, positional voting is
-/// the fallback.
+/// combined at the level of shared burst landmarks: every trace's
+/// run-length sequence is *aligned* to a reference trace (the same
+/// weighted longest-common-subsequence alignment [`score_bits_aligned`]
+/// scores with), and each reference run takes the median of the lengths
+/// aligned to it. A trace that missed or hallucinated a multiply event
+/// still votes on every landmark it shares with the reference, instead of
+/// being discarded for having the wrong run *count* (which is what made
+/// voting plateau below the paper's 10-trace 70% on noisier probe
+/// classes). Positional voting remains the fallback for fewer than three
+/// traces or structureless decodes.
 pub fn majority_vote(decodes: &[Vec<bool>], nbits: usize) -> Vec<bool> {
     if decodes.len() >= 3 {
-        if let Some(bits) = run_median_vote(decodes, nbits) {
+        if let Some(bits) = landmark_vote(decodes, nbits) {
             return bits;
         }
     }
@@ -246,49 +284,35 @@ pub fn majority_vote(decodes: &[Vec<bool>], nbits: usize) -> Vec<bool> {
         .collect()
 }
 
-/// Alternating run lengths starting with the MSB's run of ones:
-/// `[ones, zeros, ones, zeros, ...]`.
-fn to_runs(bits: &[bool]) -> Vec<u32> {
-    let mut runs = Vec::new();
-    let mut current = match bits.first() {
-        Some(true) => true,
-        _ => return runs,
-    };
-    let mut len = 0u32;
-    for b in bits {
-        if *b == current {
-            len += 1;
-        } else {
-            runs.push(len);
-            current = *b;
-            len = 1;
-        }
-    }
-    runs.push(len);
-    runs
-}
-
-fn run_median_vote(decodes: &[Vec<bool>], nbits: usize) -> Option<Vec<bool>> {
+/// Landmark-anchored run voting (see [`majority_vote`]): pick the trace
+/// whose run count is the median as the reference, align every other
+/// trace's runs to it, and take the per-landmark median length.
+fn landmark_vote(decodes: &[Vec<bool>], nbits: usize) -> Option<Vec<bool>> {
     let runs: Vec<Vec<u32>> = decodes.iter().map(|d| to_runs(d)).collect();
-    let mut counts = std::collections::HashMap::new();
-    for r in &runs {
-        *counts.entry(r.len()).or_insert(0usize) += 1;
-    }
-    let (modal_len, quorum) = counts.into_iter().max_by_key(|(len, c)| (*c, *len))?;
-    if quorum < decodes.len().div_ceil(2) || modal_len == 0 {
+    // Reference: the trace with the median run count (ties to the earlier
+    // trace, keeping the choice deterministic).
+    let mut by_len: Vec<usize> = (0..runs.len()).collect();
+    by_len.sort_by_key(|i| (runs[*i].len(), *i));
+    let ref_idx = by_len[by_len.len() / 2];
+    let reference = &runs[ref_idx];
+    if reference.is_empty() {
         return None;
     }
-    let cohort: Vec<&Vec<u32>> = runs.iter().filter(|r| r.len() == modal_len).collect();
-    let mut voted = Vec::with_capacity(modal_len);
-    for i in 0..modal_len {
-        let mut vals: Vec<u32> = cohort.iter().map(|r| r[i]).collect();
-        vals.sort_unstable();
-        voted.push(vals[vals.len() / 2]);
+    // Each landmark starts with the reference's own vote.
+    let mut votes: Vec<Vec<u32>> = reference.iter().map(|len| vec![*len]).collect();
+    for (t, r) in runs.iter().enumerate() {
+        if t == ref_idx {
+            continue;
+        }
+        for (landmark, len) in align_runs(reference, r) {
+            votes[landmark].push(len);
+        }
     }
-    // Rebuild bits: runs alternate ones/zeros starting with ones.
     let mut bits = Vec::with_capacity(nbits);
     let mut ones = true;
-    for len in voted {
+    for vals in &mut votes {
+        vals.sort_unstable();
+        let len = vals[vals.len() / 2];
         for _ in 0..len {
             bits.push(ones);
         }
@@ -404,6 +428,47 @@ mod tests {
         assert!((score_bits(&decoded, &exp) - 1.0).abs() < 1e-12);
         let flipped = vec![true, true, true, true, false, true, false, true];
         assert!((score_bits(&flipped, &exp) - 7.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aligned_score_prefers_shared_bits_over_pair_count() {
+        // truth 10111 (runs [1,1,3]) vs decoded 111010 (runs [3,1,1,1]):
+        // the single truth-r3/decoded-r1 pair shares 3 bits and must beat
+        // the two-pair alignment sharing only 2 — a many-small-pairs
+        // alignment must never outrank a fewer-bigger-pairs one.
+        let truth = Bignum::from_hex("17"); // 10111
+        let decoded = vec![true, true, true, false, true, false];
+        let want = (3.0 / 5.0) * (3.0 / 4.0); // recall * precision factor
+        assert!((score_bits_aligned(&decoded, &truth) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn landmark_vote_outvotes_disjoint_run_errors() {
+        // truth: 1 000 1 00 1 0000 1  (runs [1,3,1,2,1,4,1], 13 bits).
+        let truth_runs = [1usize, 3, 1, 2, 1, 4, 1];
+        let bits_of = |runs: &[usize]| -> Vec<bool> {
+            let mut bits = Vec::new();
+            let mut ones = true;
+            for r in runs {
+                bits.extend(std::iter::repeat_n(ones, *r));
+                ones = !ones;
+            }
+            bits.truncate(13);
+            while bits.len() < 13 {
+                bits.push(false);
+            }
+            bits
+        };
+        let truth = bits_of(&truth_runs);
+        // t1 over-counts the first zero run, t2 under-counts the second —
+        // each error *shifts* every later position, so positional voting
+        // is wrong for most of the tail; aligned landmarks still carry a
+        // 2-of-3 majority per run.
+        let t1 = bits_of(&[1, 4, 1, 2, 1, 4, 1]);
+        let t2 = bits_of(&[1, 3, 1, 1, 1, 4, 1]);
+        let t3 = truth.clone();
+        let combined = majority_vote(&[t1, t2, t3], 13);
+        assert_eq!(combined, truth);
     }
 
     #[test]

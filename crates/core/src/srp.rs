@@ -20,9 +20,10 @@ use smack_crypto::{Bignum, WindowSizing};
 use smack_uarch::{Machine, MicroArch, NoiseConfig, ProbeKind, ThreadId};
 use smack_victims::modexp::{ModexpAlgorithm, ModexpVictim, ModexpVictimBuilder};
 
-use crate::calibrate::calibrate;
+use crate::calibrate::{calibrate, CalibratedProbe};
 use crate::oracle::EvictionSet;
 use crate::probe::Prober;
+use crate::session::Session;
 
 const ATTACKER: ThreadId = ThreadId::T0;
 const VICTIM: ThreadId = ThreadId::T1;
@@ -114,6 +115,15 @@ pub fn smc_sampler(
     victim: &ModexpVictim,
     cfg: &SrpAttackConfig,
 ) -> Result<impl FnMut(&mut Machine) -> Result<bool, String>, String> {
+    smc_sampler_inner(machine, victim, cfg, None)
+}
+
+fn smc_sampler_inner(
+    machine: &mut Machine,
+    victim: &ModexpVictim,
+    cfg: &SrpAttackConfig,
+    cal_override: Option<CalibratedProbe>,
+) -> Result<impl FnMut(&mut Machine) -> Result<bool, String>, String> {
     machine.set_noise(cfg.noise);
     machine.load_program(&victim.program);
     let ev = EvictionSet::for_machine(machine, EVSET_BASE, victim.mul_set);
@@ -121,8 +131,11 @@ pub fn smc_sampler(
     for w in ev.ways() {
         machine.warm_tlb(ATTACKER, *w);
     }
-    let cal = calibrate(machine, ATTACKER, cfg.kind, smack_uarch::Addr(SCRATCH), 12)
-        .map_err(|e| e.to_string())?;
+    let cal = match cal_override {
+        Some(cal) => cal,
+        None => calibrate(machine, ATTACKER, cfg.kind, smack_uarch::Addr(SCRATCH), 12)
+            .map_err(|e| e.to_string())?,
+    };
     let kind = cfg.kind;
     let wait = cfg.wait_cycles;
     let ways = cfg.probe_ways;
@@ -263,7 +276,9 @@ pub struct SrpAttackOutcome {
     pub samples: Vec<(u64, bool)>,
 }
 
-/// Run the full single-trace attack with the SMC sampler.
+/// Run the full single-trace attack with the SMC sampler, building (and
+/// calibrating on) a fresh machine — the standalone path; session-driven
+/// harnesses use [`single_trace_attack_in`].
 ///
 /// # Errors
 ///
@@ -274,11 +289,39 @@ pub fn single_trace_attack(
     cfg: &SrpAttackConfig,
     seed: u64,
 ) -> Result<SrpAttackOutcome, String> {
-    let victim = build_victim(cfg.group_bits, b.bit_len());
     let mut machine = Machine::with_noise(arch.profile(), cfg.noise, seed);
-    let sampler = smc_sampler(&mut machine, &victim, cfg)?;
+    single_trace_attack_on(&mut machine, b, cfg, None)
+}
+
+/// Run the full single-trace attack inside a [`Session`]: the machine
+/// comes from the pool (in its cold start state) and the probe threshold
+/// from the calibration cache. The session's noise model should match
+/// `cfg.noise`.
+///
+/// # Errors
+///
+/// Returns a message on simulator errors.
+pub fn single_trace_attack_in(
+    session: &mut Session<'_>,
+    b: &Bignum,
+    cfg: &SrpAttackConfig,
+) -> Result<SrpAttackOutcome, String> {
+    session.require_noise(cfg.noise)?;
+    let cal =
+        session.calibrated(cfg.kind, smack_uarch::Placement::L2).map_err(|e| e.to_string())?;
+    single_trace_attack_on(session.machine(), b, cfg, Some(cal))
+}
+
+fn single_trace_attack_on(
+    machine: &mut Machine,
+    b: &Bignum,
+    cfg: &SrpAttackConfig,
+    cal_override: Option<CalibratedProbe>,
+) -> Result<SrpAttackOutcome, String> {
+    let victim = build_victim(cfg.group_bits, b.bit_len());
+    let sampler = smc_sampler_inner(machine, &victim, cfg, cal_override)?;
     let max_samples = cfg.group_bits * 60 + 10_000;
-    let samples = collect_events(&mut machine, &victim, b, sampler, max_samples)?;
+    let samples = collect_events(machine, &victim, b, sampler, max_samples)?;
     let events = event_times(&samples);
     let measured = measured_square_runs(&samples);
     let schedule = smack_crypto::modexp::sliding_window_schedule(b);

@@ -158,8 +158,22 @@ pub fn benign_windows(
     seed: u64,
 ) -> Result<Vec<CounterDelta>, String> {
     let mut m = Machine::with_noise(arch.profile(), cfg.noise, seed);
+    benign_windows_on(&mut m, workload, cfg)
+}
+
+/// [`benign_windows`] on a caller-supplied machine in its cold start state
+/// (e.g. one checked out from a session pool).
+///
+/// # Errors
+///
+/// Returns a message on simulator errors.
+pub fn benign_windows_on(
+    m: &mut Machine,
+    workload: BenignWorkload,
+    cfg: &DetectionConfig,
+) -> Result<Vec<CounterDelta>, String> {
     let prog = workload.build(BENIGN_CODE, BENIGN_DATA);
-    workload.stage_data(&mut m, BENIGN_DATA);
+    workload.stage_data(m, BENIGN_DATA);
     m.load_program(&prog);
     m.start_program(WORKER, prog.entry(), &[u64::MAX / 2]);
     let mut out = Vec::with_capacity(cfg.windows_per_run);
@@ -228,26 +242,41 @@ pub fn attack_windows(
     cfg: &DetectionConfig,
     seed: u64,
 ) -> Result<Vec<CounterDelta>, String> {
+    let mut m = Machine::with_noise(arch.profile(), cfg.noise, seed);
+    attack_windows_on(&mut m, attack, cfg)
+}
+
+/// [`attack_windows`] on a caller-supplied machine in its cold start state
+/// (e.g. one checked out from a session pool).
+///
+/// # Errors
+///
+/// Returns a message on simulator errors, including unsupported probe
+/// classes.
+pub fn attack_windows_on(
+    m: &mut Machine,
+    attack: AttackLoop,
+    cfg: &DetectionConfig,
+) -> Result<Vec<CounterDelta>, String> {
     let kind = match attack {
         AttackLoop::PrimeProbe(k) | AttackLoop::FlushReload(k) => k,
     };
-    if arch.profile().smc.get(kind) == SmcBehavior::Unsupported {
-        return Err(format!("{} unsupported on {arch}", attack.name()));
+    if m.profile().smc.get(kind) == SmcBehavior::Unsupported {
+        return Err(format!("{} unsupported on {}", attack.name(), m.profile().arch));
     }
-    let mut m = Machine::with_noise(arch.profile(), cfg.noise, seed);
     // Co-tenant workload so benign activity is present in both datasets.
     let co = BenignWorkload::StreamSum;
     let prog = co.build(BENIGN_CODE, BENIGN_DATA);
-    co.stage_data(&mut m, BENIGN_DATA);
+    co.stage_data(m, BENIGN_DATA);
     m.load_program(&prog);
     m.start_program(WORKER, prog.entry(), &[u64::MAX / 2]);
 
     let mut prober = Prober::new(MONITOR);
-    let evset = EvictionSet::for_machine(&m, EVSET_BASE, 13);
+    let evset = EvictionSet::for_machine(m, EVSET_BASE, 13);
     let shared = OraclePage::build(Addr(SHARED_BASE), 1);
     match attack {
-        AttackLoop::PrimeProbe(_) => evset.install(&mut m),
-        AttackLoop::FlushReload(_) => shared.install(&mut m),
+        AttackLoop::PrimeProbe(_) => evset.install(m),
+        AttackLoop::FlushReload(_) => shared.install(m),
     }
     // Real attack binaries run loop control and decoding logic between
     // probe rounds; model it with a small counted loop so the attack's
@@ -265,8 +294,13 @@ pub fn attack_windows(
     let loop_prog = loop_asm.assemble().expect("attacker logic assembles");
     m.load_program(&loop_prog);
     let attacker_logic = loop_prog.entry();
-    let cal = calibrate(&mut m, MONITOR, kind, Addr(SCRATCH), 8).map_err(|e| e.to_string())?;
-    let _ = cal;
+    // The calibration's *value* is unused (this harness never decodes),
+    // but the pass itself is load-bearing: a real attack binary calibrates
+    // at startup, and that warm-up's machine-state side effects are part
+    // of the attack execution the detector profiles. Deliberately not
+    // routed through the session CalibrationCache — the cache is for
+    // attacks that consume thresholds, not for modeled attacker behavior.
+    calibrate(m, MONITOR, kind, Addr(SCRATCH), 8).map_err(|e| e.to_string())?;
 
     let mut out = Vec::with_capacity(cfg.windows_per_run);
     for _ in 0..cfg.windows_per_run {
@@ -275,18 +309,18 @@ pub fn attack_windows(
         while m.clock(MONITOR) - t0 < cfg.window_cycles {
             match attack {
                 AttackLoop::PrimeProbe(k) => {
-                    evset.prime(&mut m, &mut prober).map_err(|e| e.to_string())?;
-                    prober.wait(&mut m, 700).map_err(|e| e.to_string())?;
-                    evset.probe(&mut m, &mut prober, k).map_err(|e| e.to_string())?;
+                    evset.prime(m, &mut prober).map_err(|e| e.to_string())?;
+                    prober.wait(m, 700).map_err(|e| e.to_string())?;
+                    evset.probe(m, &mut prober, k).map_err(|e| e.to_string())?;
                     m.call(MONITOR, attacker_logic, &[12]).map_err(|e| e.to_string())?;
                 }
                 AttackLoop::FlushReload(k) => {
                     // Keep the line bouncing into the L1i so the probe
                     // conflicts, as a live covert channel would.
-                    prober.execute_line(&mut m, shared.line(0)).map_err(|e| e.to_string())?;
-                    prober.measure(&mut m, k, shared.line(0)).map_err(|e| e.to_string())?;
+                    prober.execute_line(m, shared.line(0)).map_err(|e| e.to_string())?;
+                    prober.measure(m, k, shared.line(0)).map_err(|e| e.to_string())?;
                     m.call(MONITOR, attacker_logic, &[6]).map_err(|e| e.to_string())?;
-                    prober.wait(&mut m, 400).map_err(|e| e.to_string())?;
+                    prober.wait(m, 400).map_err(|e| e.to_string())?;
                 }
             }
         }
@@ -333,6 +367,13 @@ impl DatasetUnit {
     pub fn is_benign(&self) -> bool {
         matches!(self, DatasetUnit::Benign(..))
     }
+
+    /// The unit's canonical machine seed.
+    pub fn seed(&self) -> u64 {
+        match self {
+            DatasetUnit::Benign(_, seed) | DatasetUnit::Attack(_, seed) => *seed,
+        }
+    }
 }
 
 /// The full dataset composition: every benign workload and every paper
@@ -367,6 +408,26 @@ pub fn collect_unit(
     match unit {
         DatasetUnit::Benign(w, seed) => benign_windows(arch, w, cfg, seed).map(Some),
         DatasetUnit::Attack(a, seed) => Ok(attack_windows(arch, a, cfg, seed).ok()),
+    }
+}
+
+/// [`collect_unit`] on a caller-supplied machine in its cold start state:
+/// the machine must have been created (or reset) with the unit's
+/// [`DatasetUnit::seed`] and `cfg.noise` for the windows to match
+/// [`collect_unit`]'s bit-for-bit.
+///
+/// # Errors
+///
+/// Returns a message on simulator errors in benign runs; attack-side
+/// unsupported-probe errors are folded into `Ok(None)`.
+pub fn collect_unit_on(
+    m: &mut Machine,
+    unit: DatasetUnit,
+    cfg: &DetectionConfig,
+) -> Result<Option<Vec<CounterDelta>>, String> {
+    match unit {
+        DatasetUnit::Benign(w, _) => benign_windows_on(m, w, cfg).map(Some),
+        DatasetUnit::Attack(a, _) => Ok(attack_windows_on(m, a, cfg).ok()),
     }
 }
 

@@ -118,6 +118,15 @@ impl Program {
         self.code.is_empty()
     }
 
+    /// Drop all code and labels (keeping the label map's allocation),
+    /// returning the program to the [`Program::default`] state — used when
+    /// a machine is reset for reuse.
+    pub fn clear(&mut self) {
+        self.entry = 0;
+        self.code.clear();
+        self.labels.clear();
+    }
+
     /// Merge another program's code and labels into this one. Re-merging
     /// identical code (e.g. reinstalling an oracle page) is idempotent.
     ///

@@ -3,7 +3,7 @@
 use crate::addr::Addr;
 
 /// Geometry of one cache level (line size is globally 64 bytes).
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct CacheGeometry {
     /// Number of sets (power of two).
     pub sets: usize,

@@ -197,6 +197,24 @@ impl Thread {
             counters: CounterBank::new(),
         }
     }
+
+    /// Restore the power-on state in place, keeping the stack and
+    /// fetch-window allocations.
+    fn reset(&mut self) {
+        self.state = ThreadState::Idle;
+        self.regs = [0; Reg::COUNT];
+        self.ready = [0; Reg::COUNT];
+        self.flags = Flags::default();
+        self.flags_ready = 0;
+        self.pc = 0;
+        self.clock = 0;
+        self.stack.clear();
+        self.fetch_window.clear();
+        self.last_fetch_line = u64::MAX;
+        self.pending_mem = 0;
+        self.spec = None;
+        self.counters.reset();
+    }
 }
 
 /// Lines tracked in the in-flight fetch window used for SMC detection.
@@ -259,6 +277,27 @@ impl Engine {
     /// The microarchitecture profile in use.
     pub fn profile(&self) -> &UarchProfile {
         &self.profile
+    }
+
+    /// Restore the power-on state in place — cold caches and TLBs, reset
+    /// branch predictor, counters and clocks, no loaded code, zeroed
+    /// memory — and reseed the noise source, **without** reallocating the
+    /// cache hierarchy, the memory pages or the predictor tables. After
+    /// `reset(noise, seed)` the engine behaves bit-identically to
+    /// `Engine::new(profile, noise, seed)` for any workload.
+    pub fn reset(&mut self, noise: NoiseConfig, seed: u64) {
+        for t in &mut self.threads {
+            t.reset();
+        }
+        self.code.clear();
+        self.mem.clear();
+        self.hier.clear();
+        for tlb in self.itlb.iter_mut().chain(self.dtlb.iter_mut()) {
+            tlb.flush();
+        }
+        self.bpu.reset();
+        self.noise = NoiseSource::new(noise, seed);
+        self.tracer.disable();
     }
 
     /// Merge a program's code into the core's address space.

@@ -79,7 +79,7 @@ impl Residency {
 }
 
 /// Static configuration of the hierarchy.
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct HierarchyConfig {
     /// L1 instruction cache geometry.
     pub l1i: CacheGeometry,
@@ -175,6 +175,15 @@ impl CacheHierarchy {
     /// Configuration this hierarchy was built with.
     pub fn config(&self) -> &HierarchyConfig {
         &self.cfg
+    }
+
+    /// Invalidate every line in every level, keeping the per-set storage
+    /// allocated. A cleared hierarchy behaves exactly like a freshly built
+    /// one: LRU decisions only ever compare stamps of co-resident lines.
+    pub fn clear(&mut self) {
+        for c in [&mut self.l1i, &mut self.l1d, &mut self.l2, &mut self.llc] {
+            c.flush_all();
+        }
     }
 
     /// Where is this line cached right now? (Non-mutating.)

@@ -49,6 +49,7 @@ pub mod isa;
 pub mod machine;
 pub mod mem;
 pub mod noise;
+pub mod pool;
 pub mod profile;
 pub mod tlb;
 pub mod trace;
@@ -59,4 +60,5 @@ pub use engine::{SeqOutcome, StepError, ThreadId, ThreadState};
 pub use hierarchy::{Level, Residency};
 pub use machine::{Machine, Placement};
 pub use noise::NoiseConfig;
+pub use pool::{MachinePool, PoolStats, PooledMachine};
 pub use profile::{MicroArch, ProbeKind, SmcBehavior, UarchProfile, Vendor};

@@ -20,7 +20,7 @@ use crate::trace::Event;
 
 /// Where to place a line for experiment setup (paper §4.1 prepares the
 /// oracle line in each of five microarchitectural states).
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Placement {
     /// In the L1 instruction cache (and, inclusively, L2 + LLC).
     L1i,
@@ -82,6 +82,17 @@ impl Machine {
     /// The microarchitecture profile.
     pub fn profile(&self) -> &UarchProfile {
         self.engine.profile()
+    }
+
+    /// Restore this machine to the cold power-on state — cold caches, TLBs
+    /// and branch predictor, reset counters and clocks, no loaded code,
+    /// zeroed memory — and reseed the noise source, reusing the existing
+    /// allocations instead of rebuilding the hierarchy. A reset machine is
+    /// behaviorally indistinguishable from
+    /// `Machine::with_noise(profile, noise, seed)`: for the same seed and
+    /// workload it produces bit-identical timings, traces and reports.
+    pub fn reset(&mut self, noise: NoiseConfig, seed: u64) {
+        self.engine.reset(noise, seed);
     }
 
     /// Replace the noise configuration (keeps the RNG stream).

@@ -79,6 +79,16 @@ impl Memory {
     pub fn allocated_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Zero every allocated page **in place**, keeping the page allocations
+    /// for reuse. Behaviorally identical to a fresh [`Memory`] (reads of
+    /// unallocated pages already return zero), but a reset machine re-runs
+    /// a same-shaped workload without re-allocating its working set.
+    pub fn clear(&mut self) {
+        for p in self.pages.values_mut() {
+            p.fill(0);
+        }
+    }
 }
 
 impl std::fmt::Debug for Memory {

@@ -38,6 +38,20 @@ impl NoiseConfig {
     }
 }
 
+impl NoiseConfig {
+    /// A process-stable digest of the configuration, used alongside
+    /// [`crate::UarchProfile::fingerprint`] to key machine pools and
+    /// calibration caches (the struct holds an `f64`, so it cannot
+    /// implement `Eq`/`Hash` directly).
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.timing_jitter.hash(&mut h);
+        self.evictions_per_kcycle.to_bits().hash(&mut h);
+        h.finish()
+    }
+}
+
 impl Default for NoiseConfig {
     fn default() -> NoiseConfig {
         NoiseConfig::quiet()

@@ -123,7 +123,7 @@ impl SmcBehavior {
 }
 
 /// The per-probe-class SMC behavior matrix for one microarchitecture.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct SmcMatrix {
     cells: [SmcBehavior; 9],
 }
@@ -145,7 +145,7 @@ impl SmcMatrix {
 /// A probe's measured cost is `base + level_extra(residency)`, or
 /// `base + smc_extra` when the SMC detection unit fires (machine-clear
 /// latency dominates the hierarchy latency in that case).
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct ProbeCosts {
     /// Fixed issue cost.
     pub base: u32,
@@ -176,7 +176,7 @@ impl ProbeCosts {
 }
 
 /// Table of [`ProbeCosts`] for all nine probe classes.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct ProbeCostTable {
     cells: [ProbeCosts; 9],
 }
@@ -199,7 +199,7 @@ impl ProbeCostTable {
 }
 
 /// Machine-clear penalty breakdown (paper §4.2 / Figure 2).
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct ClearPenalties {
     /// Front-end bubble cycles (`FRONTEND_RETIRED.IDQ_4_BUBBLES` ≈ 30).
     pub frontend_bubbles: u32,
@@ -223,7 +223,7 @@ pub struct ClearPenalties {
 }
 
 /// Speculative-execution parameters.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct SpecConfig {
     /// Maximum wrong-path instructions before a forced squash (ROB bound).
     pub window_instrs: u32,
@@ -357,6 +357,32 @@ impl UarchProfile {
     /// Convert a cycle count to seconds at the nominal frequency.
     pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
         cycles as f64 / (self.freq_ghz * 1e9)
+    }
+
+    /// A process-stable digest of every behavior-relevant field, used to
+    /// key machine pools and calibration caches. Two profiles with the
+    /// same fingerprint simulate identically; ablation-perturbed profiles
+    /// (e.g. a tweaked `probe_costs` cell) get distinct fingerprints and
+    /// therefore never share pooled machines or cached calibrations with
+    /// the stock profile they were derived from.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.arch.hash(&mut h);
+        self.vendor.hash(&mut h);
+        self.freq_ghz.to_bits().hash(&mut h);
+        self.hierarchy.hash(&mut h);
+        self.tsc_resolution.hash(&mut h);
+        self.rdtsc_cost.hash(&mut h);
+        self.mfence_cost.hash(&mut h);
+        self.smc.hash(&mut h);
+        self.probe_costs.hash(&mut h);
+        self.clear.hash(&mut h);
+        self.spec.hash(&mut h);
+        self.itlb_entries.hash(&mut h);
+        self.dtlb_entries.hash(&mut h);
+        self.tlb_walk.hash(&mut h);
+        h.finish()
     }
 }
 
