@@ -1,0 +1,150 @@
+//! Engine throughput: what does the decoded fast path actually buy?
+//!
+//! Every SMaCk experiment is millions of `Engine::step` calls, so the
+//! steady-state cost of one simulated instruction bounds every campaign.
+//! This benchmark times victim-shaped loop programs (straight-line ALU
+//! bodies closed by a backward branch, like `mul_n`) under the decoded
+//! fast path and under the original per-step `BTreeMap` reference
+//! interpreter (`Machine::set_decoded_fast_path(false)`), plus a full
+//! covert-channel trial to translate instructions/sec into trials/sec.
+//!
+//! Results go to stdout and to `BENCH_engine.json` at the workspace root
+//! (CI uploads it as an artifact). `SMACK_BENCH_QUICK=1` cuts the
+//! repetition count for smoke runs; the measurement is a best-of-N
+//! minimum, so quick numbers are noisier but not biased.
+
+use std::time::Instant;
+
+use smack::channel::{random_payload, run_channel_in, ChannelSpec};
+use smack::session::{Scenario, Sessions};
+use smack_uarch::asm::Assembler;
+use smack_uarch::isa::Reg;
+use smack_uarch::{Machine, MicroArch, ProbeKind, ThreadId};
+
+/// A victim-shaped loop: `body` ALU instructions closed by
+/// `add/cmp/jne`, iterated `iters` times, then `halt`. Mirrors the modexp
+/// victims' shape (dense straight-line multiply bodies under a backward
+/// branch) without their setup cost.
+fn loop_program(body: usize, iters: u64) -> (smack_uarch::asm::Program, u64) {
+    let mut a = Assembler::new(0x40_0000);
+    a.mov_imm(Reg::R0, 0).mov_imm(Reg::R2, 1).label("loop");
+    for i in 0..body {
+        match i % 3 {
+            0 => {
+                a.add(Reg::R0, Reg::R2);
+            }
+            1 => {
+                a.xor(Reg::R3, Reg::R0);
+            }
+            _ => {
+                a.mul(Reg::R4, Reg::R2);
+            }
+        }
+    }
+    a.add_imm(Reg::R2, 1).cmp_imm(Reg::R2, iters).jne("loop").halt();
+    (a.assemble().expect("loop program assembles"), (body as u64 + 3) * iters)
+}
+
+/// One timed run of `steps` instructions of `prog` on a fresh machine,
+/// with the decoded fast path on or off.
+fn one_run(prog: &smack_uarch::asm::Program, steps: u64, decoded: bool) -> f64 {
+    let mut m = Machine::new(MicroArch::CascadeLake.profile());
+    m.set_decoded_fast_path(decoded);
+    m.load_program(prog);
+    m.start_program(ThreadId::T0, prog.entry(), &[]);
+    let t = Instant::now();
+    m.run_until_halt(ThreadId::T0, 10 * steps).expect("loop program halts");
+    t.elapsed().as_secs_f64()
+}
+
+/// Best-of-`reps` wall time for the decoded and reference interpreters,
+/// interleaved (decoded, reference, decoded, …) so transient system load
+/// biases both paths equally and the speedup ratio stays stable even on a
+/// busy host.
+fn time_interpreters(prog: &smack_uarch::asm::Program, steps: u64, reps: usize) -> (f64, f64) {
+    let (mut fast, mut refr) = (f64::MAX, f64::MAX);
+    for _ in 0..reps {
+        fast = fast.min(one_run(prog, steps, true));
+        refr = refr.min(one_run(prog, steps, false));
+    }
+    (fast, refr)
+}
+
+/// Best-of-`reps` wall time for one pooled covert-channel trial
+/// (Prime+iProbe, store probe, `bits`-bit payload) — the end-to-end unit
+/// the experiment harnesses repeat thousands of times.
+fn time_trial(sessions: &Sessions, bits: usize, reps: usize) -> f64 {
+    let scenario = Scenario::new(MicroArch::CascadeLake);
+    let spec = ChannelSpec::prime_probe(ProbeKind::Store);
+    let payload = random_payload(bits, 7);
+    // Warm the calibration cache so the loop times steady-state trials.
+    let mut session = sessions.session(&scenario);
+    run_channel_in(&mut session, &spec, &payload, false).expect("channel runs");
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let mut session = sessions.session(&scenario);
+        let t = Instant::now();
+        run_channel_in(&mut session, &spec, &payload, false).expect("channel runs");
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::var("SMACK_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let reps = if quick { 3 } else { 9 };
+
+    // Steady state: big enough that load-time compilation amortizes to
+    // noise; two program sizes show the map-lookup path degrading with
+    // program size while the decoded path stays flat.
+    let sizes = [(120usize, 20_000u64), (1200, 2_000), (4800, 500)];
+    println!("engine/interpreter (best of {reps}, CascadeLake, ns per simulated instruction)");
+    let mut rows = Vec::new();
+    for (body, iters) in sizes {
+        let (prog, steps) = loop_program(body, iters);
+        let (fast, refr) = time_interpreters(&prog, steps, reps);
+        let fast_ips = steps as f64 / fast;
+        let ref_ips = steps as f64 / refr;
+        println!(
+            "  body={body:<5} decoded {:>6.2} ns ({fast_ips:.3e}/s)   reference {:>6.2} ns ({ref_ips:.3e}/s)   speedup {:.2}x",
+            fast / steps as f64 * 1e9,
+            refr / steps as f64 * 1e9,
+            fast_ips / ref_ips,
+        );
+        rows.push((body, fast_ips, ref_ips));
+    }
+
+    let sessions = Sessions::new();
+    let bits = 64;
+    let trial = time_trial(&sessions, bits, reps);
+    let trials_per_sec = 1.0 / trial;
+    println!(
+        "engine/trial: {bits}-bit Prime+iProbe channel trial {:.3} ms ({trials_per_sec:.1} trials/s)",
+        trial * 1e3
+    );
+
+    // Headline steady-state numbers: the victim-scale (1200-instr body)
+    // program, the size class the modexp victims live in.
+    let (_, fast_ips, ref_ips) = rows[1];
+    let json = format!(
+        "{{\n  \"bench\": \"engine\",\n  \"arch\": \"CascadeLake\",\n  \"quick\": {quick},\n  \
+         \"decoded_instrs_per_sec\": {fast_ips:.0},\n  \
+         \"reference_instrs_per_sec\": {ref_ips:.0},\n  \
+         \"speedup\": {:.2},\n  \
+         \"trials_per_sec\": {trials_per_sec:.1},\n  \
+         \"trial_payload_bits\": {bits},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        fast_ips / ref_ips,
+        rows.iter()
+            .map(|(body, f, r)| format!(
+                "    {{ \"body_instrs\": {body}, \"decoded_instrs_per_sec\": {f:.0}, \
+                 \"reference_instrs_per_sec\": {r:.0} }}"
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("[json] {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_engine.json: {e}"),
+    }
+}

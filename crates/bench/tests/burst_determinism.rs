@@ -1,0 +1,65 @@
+//! Burst scheduling is pure mechanics: `Machine` hands the engine
+//! `burst` steps at a time, but every step makes the same causal-order
+//! thread choice the per-instruction scheduler made, so experiment
+//! output must be bit-identical for every burst size — and for the
+//! decoded fast path vs the reference interpreter. These tests lock the
+//! contract at the experiment level (covert-channel reports and RSA
+//! attack traces); CI additionally diffs whole `target/repro/` trees at
+//! `SMACK_BURST=1` vs the default.
+
+use smack::channel::{random_payload, run_channel, ChannelSpec};
+use smack::rsa::{build_victim, collect_trace_on, RsaAttackConfig};
+use smack_crypto::Bignum;
+use smack_uarch::{Machine, MicroArch, NoiseConfig, ProbeKind};
+
+/// The configurations every experiment output must agree across:
+/// burst 1 (the historical per-instruction scheduling), a deliberately
+/// odd small burst, the default-scale burst, and the reference
+/// interpreter at full burst.
+const CONFIGS: [(u64, bool); 4] = [(1, true), (3, true), (4096, true), (4096, false)];
+
+fn machine(seed: u64, burst: u64, decoded: bool) -> Machine {
+    let mut m = Machine::with_noise(MicroArch::CascadeLake.profile(), NoiseConfig::quiet(), seed);
+    m.set_burst_steps(burst);
+    m.set_decoded_fast_path(decoded);
+    m
+}
+
+#[test]
+fn channel_reports_identical_across_burst_sizes() {
+    for spec in
+        [ChannelSpec::prime_probe(ProbeKind::Store), ChannelSpec::flush_reload(ProbeKind::Flush)]
+    {
+        let payload = random_payload(48, 11);
+        let (b0, d0) = CONFIGS[0];
+        let baseline =
+            run_channel(&mut machine(7, b0, d0), &spec, &payload, false).expect("channel runs");
+        for (burst, decoded) in &CONFIGS[1..] {
+            let got = run_channel(&mut machine(7, *burst, *decoded), &spec, &payload, false)
+                .expect("channel runs");
+            assert_eq!(
+                got,
+                baseline,
+                "{} diverged at burst={burst} decoded={decoded}",
+                spec.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn rsa_traces_identical_across_burst_sizes() {
+    let cfg = RsaAttackConfig::new(ProbeKind::Store);
+    let victim = build_victim(&cfg);
+    let exp = Bignum::from_hex("b5a96e1dc3f47a2b");
+    let (b0, d0) = CONFIGS[0];
+    let baseline = collect_trace_on(&mut machine(13, b0, d0), &victim, &exp, &cfg, 13, None)
+        .expect("trace collects");
+    assert!(!baseline.samples.is_empty(), "attack produced samples");
+    for (burst, decoded) in &CONFIGS[1..] {
+        let got =
+            collect_trace_on(&mut machine(13, *burst, *decoded), &victim, &exp, &cfg, 13, None)
+                .expect("trace collects");
+        assert_eq!(got, baseline, "trace diverged at burst={burst} decoded={decoded}");
+    }
+}

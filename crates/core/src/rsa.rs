@@ -73,7 +73,7 @@ pub struct ActivitySample {
 }
 
 /// A collected trace plus metadata.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RsaTrace {
     /// Samples in time order.
     pub samples: Vec<ActivitySample>,
@@ -129,7 +129,16 @@ pub fn collect_trace_in(
     collect_trace_on(session.machine(), victim, exp, cfg, seed, Some(cal))
 }
 
-fn collect_trace_on(
+/// Collect one trace on a caller-provided machine, optionally with a
+/// pre-computed calibration (`None` calibrates inline, like
+/// [`collect_trace`]). The low-level entry for drivers that manage their
+/// own machines — e.g. the burst-determinism regression tests, which pin
+/// [`Machine::set_burst_steps`] per machine.
+///
+/// # Errors
+///
+/// Returns a message on simulator errors.
+pub fn collect_trace_on(
     m: &mut Machine,
     victim: &ModexpVictim,
     exp: &Bignum,

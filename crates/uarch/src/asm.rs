@@ -136,7 +136,7 @@ impl Program {
     /// same address.
     pub fn merge(&mut self, other: &Program) {
         for (a, i) in other.iter() {
-            if let Some(prev) = self.code.insert(a, i.clone()) {
+            if let Some(prev) = self.code.insert(a, *i) {
                 assert_eq!(&prev, i, "program merge conflict at {a:#x}");
             }
         }
@@ -452,7 +452,7 @@ impl Assembler {
         let mut spans: Vec<(u64, u64)> = Vec::with_capacity(self.items.len());
         for (addr, p) in &self.items {
             let instr = match p {
-                Pending::Ready(i) => i.clone(),
+                Pending::Ready(i) => *i,
                 Pending::Jmp(t) => Instr::Jmp { target: resolve(t, &self.labels)? },
                 Pending::Jcc(c, t) => Instr::Jcc { cond: *c, target: resolve(t, &self.labels)? },
                 Pending::Call(t) => Instr::Call { target: resolve(t, &self.labels)? },

@@ -186,8 +186,10 @@ impl Cache {
     }
 
     /// Lines currently resident in set `set`, in no particular order.
-    pub fn lines_in_set(&self, set: usize) -> Vec<Addr> {
-        self.sets[set].iter().map(|e| Addr(e.line)).collect()
+    /// Borrows instead of allocating — callers that need a `Vec` collect
+    /// explicitly; diagnostic sweeps over many sets stay allocation-free.
+    pub fn lines_in_set(&self, set: usize) -> impl Iterator<Item = Addr> + '_ {
+        self.sets[set].iter().map(|e| Addr(e.line))
     }
 
     /// Number of valid lines across all sets.
@@ -281,7 +283,7 @@ mod tests {
         c.insert(Addr(512), false);
         c.insert(Addr(64), false); // set 1
         assert!(c.contains(Addr(64)));
-        assert_eq!(c.lines_in_set(1), vec![Addr(64)]);
+        assert_eq!(c.lines_in_set(1).collect::<Vec<_>>(), vec![Addr(64)]);
         assert_eq!(c.occupancy(), 3);
     }
 }

@@ -82,7 +82,10 @@ impl PerfEvent {
     ];
 
     fn slot(self) -> usize {
-        Self::ALL.iter().position(|e| *e == self).expect("event is in ALL")
+        // Declaration order matches `ALL` (locked by the `all_slots_unique`
+        // test), so the discriminant is the slot — counter bumps on the hot
+        // step path must not scan a lookup table.
+        self as usize
     }
 
     /// The vendor event-name string, as PAPI/perf would show it.
@@ -152,6 +155,7 @@ impl CounterBank {
     }
 
     /// Increment `event` by `n`.
+    #[inline]
     pub fn add(&mut self, event: PerfEvent, n: u64) {
         self.values[event.slot()] += n;
     }

@@ -29,7 +29,6 @@
 //! the vendor's performance counters are charged per the paper's Figure 2
 //! reverse engineering.
 
-use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
@@ -37,6 +36,7 @@ use crate::addr::{Addr, LINE_SIZE};
 use crate::asm::Program;
 use crate::bpu::BranchPredictor;
 use crate::counters::{CounterBank, PerfEvent};
+use crate::decoded::{DecodedProgram, NO_IDX};
 use crate::hierarchy::{CacheHierarchy, Level};
 use crate::isa::{Cond, Flags, Instr, MemRef, MemSize, Reg};
 use crate::mem::Memory;
@@ -170,12 +170,24 @@ struct Thread {
     flags: Flags,
     flags_ready: u64,
     pc: u64,
+    /// Index of the instruction at `pc` in the engine's decoded table, or
+    /// [`NO_IDX`] when unknown (resolved lazily with one hash probe). Kept
+    /// in lockstep with `pc`: sequential flow and static branches copy the
+    /// pre-resolved successor index; every other `pc` writer invalidates it.
+    pc_idx: u32,
     clock: u64,
     stack: Vec<u64>,
-    fetch_window: VecDeque<u64>,
     last_fetch_line: u64,
+    /// Lines in the in-flight fetch window, `u64::MAX` = empty slot
+    /// (a fixed ring; see [`FETCH_WINDOW`]).
+    fetch_window: [u64; FETCH_WINDOW],
+    fetch_window_next: usize,
     pending_mem: u64,
-    spec: Option<SpecState>,
+    /// Active wrong-path speculation. Boxed: mispredictions are rare, and
+    /// keeping the large checkpoint out of line both shrinks the thread
+    /// (better locality for the hot fields) and turns the per-step
+    /// `is_some` check into a null test.
+    spec: Option<Box<SpecState>>,
     counters: CounterBank,
 }
 
@@ -188,9 +200,11 @@ impl Thread {
             flags: Flags::default(),
             flags_ready: 0,
             pc: 0,
+            pc_idx: NO_IDX,
             clock: 0,
             stack: Vec::new(),
-            fetch_window: VecDeque::with_capacity(FETCH_WINDOW),
+            fetch_window: [u64::MAX; FETCH_WINDOW],
+            fetch_window_next: 0,
             last_fetch_line: u64::MAX,
             pending_mem: 0,
             spec: None,
@@ -207,9 +221,11 @@ impl Thread {
         self.flags = Flags::default();
         self.flags_ready = 0;
         self.pc = 0;
+        self.pc_idx = NO_IDX;
         self.clock = 0;
         self.stack.clear();
-        self.fetch_window.clear();
+        self.fetch_window = [u64::MAX; FETCH_WINDOW];
+        self.fetch_window_next = 0;
         self.last_fetch_line = u64::MAX;
         self.pending_mem = 0;
         self.spec = None;
@@ -245,6 +261,13 @@ pub struct Engine {
     profile: UarchProfile,
     threads: [Thread; 2],
     code: Program,
+    /// Dense side table compiled from `code` at load time: the steady-state
+    /// step loop chases successor indices through it instead of walking the
+    /// program's `BTreeMap` per instruction.
+    decoded: DecodedProgram,
+    /// Whether `step` uses the decoded table (default) or the original
+    /// map-lookup reference interpreter (A/B equivalence testing).
+    use_decoded: bool,
     mem: Memory,
     hier: CacheHierarchy,
     itlb: [Tlb; 2],
@@ -263,6 +286,8 @@ impl Engine {
         Engine {
             threads: [Thread::new(), Thread::new()],
             code: Program::default(),
+            decoded: DecodedProgram::default(),
+            use_decoded: true,
             mem: Memory::new(),
             hier,
             itlb,
@@ -290,6 +315,8 @@ impl Engine {
             t.reset();
         }
         self.code.clear();
+        self.decoded.clear();
+        self.use_decoded = true;
         self.mem.clear();
         self.hier.clear();
         for tlb in self.itlb.iter_mut().chain(self.dtlb.iter_mut()) {
@@ -300,9 +327,33 @@ impl Engine {
         self.tracer.disable();
     }
 
-    /// Merge a program's code into the core's address space.
+    /// Merge a program's code into the core's address space and recompile
+    /// the decoded side table (linear in total program size — paid per
+    /// load, never per step).
     pub fn load(&mut self, prog: &Program) {
         self.code.merge(prog);
+        self.decoded = DecodedProgram::compile(&self.code);
+        for t in &mut self.threads {
+            t.pc_idx = NO_IDX;
+        }
+    }
+
+    /// Switch between the decoded fast path (the default) and the original
+    /// `BTreeMap` reference interpreter. Both execute the identical `exec`
+    /// body and produce bit-identical architectural state, clocks and
+    /// counters; the reference path exists so equivalence tests and the
+    /// engine throughput benchmark can compare against the pre-decoded
+    /// interpreter. Reset restores the default.
+    pub fn set_decoded_fast_path(&mut self, on: bool) {
+        self.use_decoded = on;
+        for t in &mut self.threads {
+            t.pc_idx = NO_IDX;
+        }
+    }
+
+    /// Whether the decoded fast path is active.
+    pub fn decoded_fast_path(&self) -> bool {
+        self.use_decoded
     }
 
     /// Simulated memory.
@@ -337,10 +388,12 @@ impl Engine {
 
     // ---- thread accessors -------------------------------------------------
 
+    #[inline(always)]
     fn t(&self, tid: ThreadId) -> &Thread {
         &self.threads[tid.index()]
     }
 
+    #[inline(always)]
     fn t_mut(&mut self, tid: ThreadId) -> &mut Thread {
         &mut self.threads[tid.index()]
     }
@@ -394,6 +447,7 @@ impl Engine {
         let clock = self.t(tid).clock;
         let t = self.t_mut(tid);
         t.pc = entry;
+        t.pc_idx = NO_IDX;
         t.stack.clear();
         t.state = ThreadState::Running;
         t.spec = None;
@@ -409,6 +463,7 @@ impl Engine {
         let t = self.t_mut(tid);
         t.stack.push(RETURN_SENTINEL);
         t.pc = target;
+        t.pc_idx = NO_IDX;
         t.state = ThreadState::Running;
     }
 
@@ -430,6 +485,7 @@ impl Engine {
     // ---- execution ---------------------------------------------------------
 
     /// Execute one program instruction on a running thread.
+    #[inline]
     pub fn step(&mut self, tid: ThreadId) -> Result<(), StepError> {
         if self.t(tid).state != ThreadState::Running {
             return Err(StepError::NotRunning { tid });
@@ -450,23 +506,62 @@ impl Engine {
             }
             return Ok(());
         }
-        let instr = match self.code.instr_at(pc) {
-            Some(i) => i.clone(),
-            None => {
+        // Locate the instruction. The fast path chases pre-resolved indices
+        // through the decoded side table (zero map lookups in steady state);
+        // the reference path repeats the original per-step `BTreeMap` lookup
+        // and is kept only for A/B equivalence testing and benchmarking.
+        let (instr, len, line, fall, target_idx) = if self.use_decoded {
+            let idx = match self.t(tid).pc_idx {
+                NO_IDX => self.decoded.index_of(pc),
+                cached => cached,
+            };
+            if idx == NO_IDX {
                 if self.t(tid).spec.is_some() {
                     self.squash(tid);
                     return Ok(());
                 }
                 return Err(StepError::NoInstruction { pc });
             }
+            let d = self.decoded.get(idx);
+            (d.instr, d.len, d.line, d.fall, d.target)
+        } else {
+            match self.code.instr_at(pc) {
+                Some(i) => (*i, i.len(), Addr(pc).line().0, NO_IDX, NO_IDX),
+                None => {
+                    if self.t(tid).spec.is_some() {
+                        self.squash(tid);
+                        return Ok(());
+                    }
+                    return Err(StepError::NoInstruction { pc });
+                }
+            }
         };
-        self.fetch(tid, pc);
-        let len = instr.len();
+        if self.t(tid).last_fetch_line != line {
+            self.fetch(tid, line);
+        }
         let next = self.exec(tid, &instr, false)?;
         let t = self.t_mut(tid);
         match next {
-            Next::Seq => t.pc = pc + len,
-            Next::Jump(target) => t.pc = target,
+            Next::Seq => {
+                t.pc = pc + len;
+                t.pc_idx = fall;
+            }
+            Next::Jump(dest) => {
+                t.pc = dest;
+                // Static targets were resolved at decode time; dynamic
+                // transfers (`ret`, `call *%reg`) resolve lazily next step.
+                t.pc_idx = match instr {
+                    Instr::Jmp { target } | Instr::Call { target } if dest == target => target_idx,
+                    Instr::Jcc { target, .. } => {
+                        if dest == target {
+                            target_idx
+                        } else {
+                            fall
+                        }
+                    }
+                    _ => NO_IDX,
+                };
+            }
             Next::Stop => {}
         }
         if let Some(spec) = &mut self.t_mut(tid).spec {
@@ -476,6 +571,67 @@ impl Engine {
             self.t_mut(tid).counters.add(PerfEvent::InstRetired, 1);
         }
         Ok(())
+    }
+
+    /// Run up to `max_steps` causally-ordered program steps without leaving
+    /// the engine. Each counted step executes one instruction on whichever
+    /// runnable thread the causal-order rule picks — the sibling when it is
+    /// running and behind `tid`'s clock, `tid` otherwise — which is exactly
+    /// the per-instruction decision [`crate::machine::Machine`] historically
+    /// made across the crate boundary. Burst execution is therefore
+    /// bit-identical for every burst size, including 1.
+    ///
+    /// Returns the number of steps executed; stops early (without error)
+    /// when `tid` leaves the running state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StepError`] from either thread.
+    pub fn run_burst(&mut self, tid: ThreadId, max_steps: u64) -> Result<u64, StepError> {
+        let sib = tid.sibling();
+        let mut steps = 0u64;
+        if self.t(sib).state != ThreadState::Running {
+            // Lone-thread fast loop: nothing inside the burst can wake the
+            // sibling (that takes an external start_program/call), so the
+            // causal-order check is hoisted out entirely.
+            while steps < max_steps && self.t(tid).state == ThreadState::Running {
+                self.step(tid)?;
+                steps += 1;
+            }
+            return Ok(steps);
+        }
+        while steps < max_steps && self.t(tid).state == ThreadState::Running {
+            if self.t(sib).state == ThreadState::Running && self.t(sib).clock < self.t(tid).clock {
+                self.step(sib)?;
+            } else {
+                self.step(tid)?;
+            }
+            steps += 1;
+        }
+        Ok(steps)
+    }
+
+    /// Step the sibling's program until it catches up with `tid`'s clock,
+    /// it stops running, or `max_steps` run out. The clock comparison is
+    /// re-evaluated every step because stepping the sibling can advance
+    /// `tid`'s clock too (a machine clear stalls the other thread).
+    ///
+    /// Returns the number of sibling steps executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StepError`] from the sibling's program.
+    pub fn catch_up(&mut self, tid: ThreadId, max_steps: u64) -> Result<u64, StepError> {
+        let sib = tid.sibling();
+        let mut steps = 0u64;
+        while steps < max_steps
+            && self.t(sib).state == ThreadState::Running
+            && self.t(sib).clock < self.t(tid).clock
+        {
+            self.step(sib)?;
+            steps += 1;
+        }
+        Ok(steps)
     }
 
     /// Execute one injected instruction (attacker-style straight-line code;
@@ -512,11 +668,11 @@ impl Engine {
         }
     }
 
-    fn fetch(&mut self, tid: ThreadId, pc: u64) {
-        let line = Addr(pc).line();
-        if self.t(tid).last_fetch_line == line.0 {
-            return;
-        }
+    /// Model the front-end fetch of the (pre-computed) line holding the
+    /// current instruction. Callers have already checked `last_fetch_line`,
+    /// so this only runs on an actual line switch.
+    fn fetch(&mut self, tid: ThreadId, line: u64) {
+        let line = Addr(line);
         let mut cost: u64 = 0;
         if !self.itlb[tid.index()].access(line) {
             cost += self.profile.tlb_walk as u64;
@@ -553,10 +709,8 @@ impl Engine {
             t.counters.add(PerfEvent::CycleActivityStallsTotal, extra);
         }
         t.last_fetch_line = line.0;
-        if t.fetch_window.len() >= FETCH_WINDOW {
-            t.fetch_window.pop_front();
-        }
-        t.fetch_window.push_back(line.0);
+        t.fetch_window[t.fetch_window_next] = line.0;
+        t.fetch_window_next = (t.fetch_window_next + 1) % FETCH_WINDOW;
     }
 
     fn mem_addr(&self, tid: ThreadId, m: MemRef) -> Addr {
@@ -658,7 +812,8 @@ impl Engine {
         self.hier.invalidate_l1i(line);
         // Pipeline flush: both threads refetch, and the sibling stalls.
         for t in &mut self.threads {
-            t.fetch_window.clear();
+            t.fetch_window = [u64::MAX; FETCH_WINDOW];
+            t.fetch_window_next = 0;
             t.last_fetch_line = u64::MAX;
         }
         let sib = tid.sibling();
@@ -669,7 +824,9 @@ impl Engine {
         self.t_mut(sib)
             .counters
             .add(PerfEvent::CycleActivityStallsTotal, clear.sibling_stall as u64);
-        self.tracer.record(Event::MachineClear { tid, kind, line, at });
+        if self.tracer.is_enabled() {
+            self.tracer.record(Event::MachineClear { tid, kind, line, at });
+        }
     }
 
     /// Roll back mispredicted speculation, with the misprediction penalty.
@@ -684,16 +841,20 @@ impl Engine {
         t.flags_ready = spec.ckpt_flags_ready;
         t.stack.truncate(spec.ckpt_stack_len);
         t.pc = spec.correct_pc;
+        t.pc_idx = NO_IDX;
         t.clock = clock.max(spec.resolve_at) + penalty;
         t.last_fetch_line = u64::MAX;
-        t.fetch_window.clear();
-        let at = t.clock;
-        self.tracer.record(Event::BranchSquash {
-            tid,
-            pc: spec.branch_pc,
-            wrong_path_instrs: spec.wrong_path,
-            at,
-        });
+        t.fetch_window = [u64::MAX; FETCH_WINDOW];
+        t.fetch_window_next = 0;
+        if self.tracer.is_enabled() {
+            let at = self.t(tid).clock;
+            self.tracer.record(Event::BranchSquash {
+                tid,
+                pc: spec.branch_pc,
+                wrong_path_instrs: spec.wrong_path,
+                at,
+            });
+        }
     }
 
     /// Roll back speculation without charging the misprediction penalty
@@ -707,7 +868,9 @@ impl Engine {
             t.flags_ready = spec.ckpt_flags_ready;
             t.stack.truncate(spec.ckpt_stack_len);
             t.pc = spec.correct_pc;
-            t.fetch_window.clear();
+            t.pc_idx = NO_IDX;
+            t.fetch_window = [u64::MAX; FETCH_WINDOW];
+            t.fetch_window_next = 0;
             t.last_fetch_line = u64::MAX;
         }
     }
@@ -728,6 +891,12 @@ impl Engine {
 
     /// Execute one instruction's semantics and timing on thread `tid`.
     #[allow(clippy::too_many_lines)]
+    // Force-inlined: `exec` has exactly two callers — the hot `step` loop
+    // and the cold injected-sequence path. Left to its own devices the
+    // optimizer sees the second caller and outlines this (large) match,
+    // costing ~30% steady-state throughput; always-inlining restores the
+    // single-caller codegen regardless of what else links in.
+    #[inline(always)]
     fn exec(&mut self, tid: ThreadId, instr: &Instr, injected: bool) -> Result<Next, StepError> {
         let mut cost: u64 = 1;
         let mut next = Next::Seq;
@@ -746,7 +915,9 @@ impl Engine {
                     let t = self.t_mut(tid);
                     t.state = ThreadState::Halted;
                     let at = t.clock;
-                    self.tracer.record(Event::Halted { tid, at });
+                    if self.tracer.is_enabled() {
+                        self.tracer.record(Event::Halted { tid, at });
+                    }
                     next = Next::Stop;
                 }
             }
@@ -931,8 +1102,10 @@ impl Engine {
                         } else {
                             // Returning with an empty stack ends the program.
                             self.t_mut(tid).state = ThreadState::Halted;
-                            let at = self.t(tid).clock;
-                            self.tracer.record(Event::Halted { tid, at });
+                            if self.tracer.is_enabled() {
+                                let at = self.t(tid).clock;
+                                self.tracer.record(Event::Halted { tid, at });
+                            }
                             next = Next::Stop;
                         }
                     }
@@ -1020,6 +1193,7 @@ impl Engine {
         Ok(next)
     }
 
+    #[inline]
     fn exec_jcc(&mut self, tid: ThreadId, cond: Cond, target: u64) -> Result<Next, StepError> {
         let pc = self.t(tid).pc;
         let fallthrough = pc + Instr::Jcc { cond, target }.len();
@@ -1052,7 +1226,7 @@ impl Engine {
         let wrong = if predicted { target } else { fallthrough };
         let window = self.profile.spec.window_instrs;
         let t = self.t_mut(tid);
-        t.spec = Some(SpecState {
+        t.spec = Some(Box::new(SpecState {
             ckpt_regs: t.regs,
             ckpt_ready: t.ready,
             ckpt_flags: t.flags,
@@ -1064,7 +1238,7 @@ impl Engine {
             wrong_path: 0,
             branch_pc: pc,
             buffered_stores: Vec::new(),
-        });
+        }));
         Ok(Next::Jump(wrong))
     }
 }

@@ -52,9 +52,12 @@ impl Reg {
         Reg(i as u8)
     }
 
-    /// Index of this register in the register file (0..16).
+    /// Index of this register in the register file (0..16). The mask is a
+    /// no-op for valid registers (construction enforces `< 16`) but lets
+    /// the optimizer drop the bounds check on every register-file access
+    /// in the engine's hot loop.
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0 & 0xf) as usize
     }
 }
 
@@ -129,6 +132,7 @@ impl Flags {
     }
 
     /// Evaluate a branch condition against these flags.
+    #[inline]
     pub fn eval(self, cond: Cond) -> bool {
         match cond {
             Cond::Eq => self.eq,
@@ -145,7 +149,11 @@ impl Flags {
 ///
 /// Control-flow targets are absolute virtual addresses; use
 /// [`crate::asm::Assembler`] to write code with labels.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// `Instr` is `Copy` (every operand is a small scalar), so moving a decoded
+/// instruction into the execution loop costs a register-sized memcpy — the
+/// hot step path never clones or allocates.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Instr {
     /// `nop`.
     Nop,

@@ -43,6 +43,7 @@ pub mod asm;
 pub mod bpu;
 pub mod cache;
 pub mod counters;
+pub mod decoded;
 pub mod engine;
 pub mod hierarchy;
 pub mod isa;
@@ -56,6 +57,7 @@ pub mod trace;
 
 pub use addr::{Addr, LINE_SIZE, PAGE_SIZE};
 pub use counters::{CounterBank, CounterSnapshot, PerfEvent};
+pub use decoded::{DecodedInstr, DecodedProgram};
 pub use engine::{SeqOutcome, StepError, ThreadId, ThreadState};
 pub use hierarchy::{Level, Residency};
 pub use machine::{Machine, Placement};

@@ -62,11 +62,31 @@ impl std::fmt::Display for Placement {
 #[derive(Debug)]
 pub struct Machine {
     engine: Engine,
+    /// Steps handed to the engine per [`Engine::run_burst`] call. Purely a
+    /// scheduling granularity: output is bit-identical for every value
+    /// (the burst loop makes the same per-instruction causal decision the
+    /// machine used to make), so this only trades boundary crossings
+    /// against step-budget check frequency.
+    burst: u64,
 }
 
 /// Default per-run instruction budget: generous, but bounded so that buggy
 /// victims fail loudly instead of hanging the harness.
 const DEFAULT_STEP_BUDGET: u64 = 500_000_000;
+
+/// Default engine burst size: `SMACK_BURST` when set to a positive integer
+/// (the CI determinism gate runs the repro at 1 vs the default and diffs
+/// CSVs), 4096 otherwise.
+fn default_burst() -> u64 {
+    static BURST: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *BURST.get_or_init(|| {
+        std::env::var("SMACK_BURST")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|n| *n > 0)
+            .unwrap_or(4096)
+    })
+}
 
 impl Machine {
     /// Create a machine with quiet (deterministic) noise.
@@ -76,7 +96,36 @@ impl Machine {
 
     /// Create a machine with an explicit noise model and seed.
     pub fn with_noise(profile: UarchProfile, noise: NoiseConfig, seed: u64) -> Machine {
-        Machine { engine: Engine::new(profile, noise, seed) }
+        Machine { engine: Engine::new(profile, noise, seed), burst: default_burst() }
+    }
+
+    /// Override the engine burst size for this machine (default: the
+    /// `SMACK_BURST` environment variable, else 4096). Any positive value
+    /// produces bit-identical output; see the `burst` field notes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero.
+    pub fn set_burst_steps(&mut self, steps: u64) {
+        assert!(steps > 0, "burst size must be positive");
+        self.burst = steps;
+    }
+
+    /// The current engine burst size.
+    pub fn burst_steps(&self) -> u64 {
+        self.burst
+    }
+
+    /// Switch between the decoded fast path (default) and the original
+    /// map-lookup reference interpreter — see
+    /// [`Engine::set_decoded_fast_path`]. Reset restores the default.
+    pub fn set_decoded_fast_path(&mut self, on: bool) {
+        self.engine.set_decoded_fast_path(on);
+    }
+
+    /// Whether the decoded fast path is active.
+    pub fn decoded_fast_path(&self) -> bool {
+        self.engine.decoded_fast_path()
     }
 
     /// The microarchitecture profile.
@@ -259,10 +308,22 @@ impl Machine {
             if steps >= max_steps {
                 return Err(StepError::StepLimit);
             }
-            self.step_balanced(tid)?;
-            steps += 1;
+            let burst = self.burst.min(max_steps - steps);
+            steps += self.engine.run_burst(tid, burst)?;
         }
         Ok(self.engine.clock(tid) - start)
+    }
+
+    /// Run up to `max_steps` causally-ordered program steps of `tid` (and
+    /// its sibling, when the sibling is behind) as one engine burst — the
+    /// low-level entry for drivers that meter progress themselves. Returns
+    /// the number of steps executed; see [`Engine::run_burst`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StepError`] from either thread.
+    pub fn run_burst(&mut self, tid: ThreadId, max_steps: u64) -> Result<u64, StepError> {
+        self.engine.run_burst(tid, max_steps)
     }
 
     /// Call a simulated function on an idle thread: arguments in `R1..`,
@@ -278,14 +339,7 @@ impl Machine {
         }
         let start = self.engine.clock(tid);
         self.engine.begin_injected_call(tid, target);
-        let mut steps = 0u64;
-        while self.engine.state(tid) == ThreadState::Running {
-            if steps >= DEFAULT_STEP_BUDGET {
-                return Err(StepError::StepLimit);
-            }
-            self.step_balanced(tid)?;
-            steps += 1;
-        }
+        self.drive_to_idle(tid)?;
         Ok(self.engine.clock(tid) - start)
     }
 
@@ -308,14 +362,7 @@ impl Machine {
                 InjectedNext::Done => {}
                 InjectedNext::EnterCall { target } => {
                     self.engine.begin_injected_call(tid, target);
-                    let mut steps = 0u64;
-                    while self.engine.state(tid) == ThreadState::Running {
-                        if steps >= DEFAULT_STEP_BUDGET {
-                            return Err(StepError::StepLimit);
-                        }
-                        self.step_balanced(tid)?;
-                        steps += 1;
-                    }
+                    self.drive_to_idle(tid)?;
                 }
             }
         }
@@ -341,32 +388,36 @@ impl Machine {
         self.catch_up_sibling(tid)
     }
 
-    /// Step the target thread's program while keeping the sibling caught up.
-    fn step_balanced(&mut self, tid: ThreadId) -> Result<(), StepError> {
-        let sib = tid.sibling();
-        if self.engine.state(sib) == ThreadState::Running
-            && self.engine.clock(sib) < self.engine.clock(tid)
-        {
-            self.engine.step(sib)
-        } else {
-            self.engine.step(tid)
+    /// Drive a running thread to idle/halt in engine bursts, enforcing the
+    /// default step budget.
+    fn drive_to_idle(&mut self, tid: ThreadId) -> Result<(), StepError> {
+        let mut steps = 0u64;
+        while self.engine.state(tid) == ThreadState::Running {
+            if steps >= DEFAULT_STEP_BUDGET {
+                return Err(StepError::StepLimit);
+            }
+            let burst = self.burst.min(DEFAULT_STEP_BUDGET - steps);
+            steps += self.engine.run_burst(tid, burst)?;
         }
+        Ok(())
     }
 
     /// Advance the sibling's program until it catches up with `tid`'s clock.
     fn catch_up_sibling(&mut self, tid: ThreadId) -> Result<(), StepError> {
         let sib = tid.sibling();
         let mut guard = 0u64;
-        while self.engine.state(sib) == ThreadState::Running
-            && self.engine.clock(sib) < self.engine.clock(tid)
-        {
+        loop {
+            let burst = self.burst.min(DEFAULT_STEP_BUDGET - guard);
+            guard += self.engine.catch_up(tid, burst)?;
+            let behind = self.engine.state(sib) == ThreadState::Running
+                && self.engine.clock(sib) < self.engine.clock(tid);
+            if !behind {
+                return Ok(());
+            }
             if guard >= DEFAULT_STEP_BUDGET {
                 return Err(StepError::StepLimit);
             }
-            self.engine.step(sib)?;
-            guard += 1;
         }
-        Ok(())
     }
 }
 

@@ -1,10 +1,20 @@
 //! Sparse byte-addressable simulated memory.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 use crate::addr::{Addr, PAGE_SIZE};
 
+/// Sentinel page base marking the last-page memo as empty.
+const NO_PAGE: u64 = u64::MAX;
+
 /// Sparse 64-bit memory backed by 4 KiB pages allocated on demand.
+///
+/// Pages live in an indexed arena: a dense `Vec` of page frames plus a
+/// `page base → frame` map consulted only on a page switch. Accesses show
+/// strong page locality (a victim hammers its operand buffers, a probe its
+/// oracle line), so the common case is a single compare against the
+/// last-resolved page memo rather than a hash lookup per byte.
 ///
 /// Reads from unallocated memory return zero, which keeps victim setup
 /// simple and deterministic.
@@ -18,9 +28,18 @@ use crate::addr::{Addr, PAGE_SIZE};
 /// assert_eq!(m.read_u64(Addr(0x1000)), 0xdead_beef);
 /// assert_eq!(m.read_u8(Addr(0x9999)), 0);
 /// ```
-#[derive(Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    frames: Vec<Box<[u8; PAGE_SIZE as usize]>>,
+    index: HashMap<u64, u32>,
+    /// `(page base, frame)` of the most recently resolved page — a `Cell`
+    /// so read paths can refresh it through `&self`.
+    last: Cell<(u64, u32)>,
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory { frames: Vec::new(), index: HashMap::new(), last: Cell::new((NO_PAGE, 0)) }
+    }
 }
 
 impl Memory {
@@ -29,14 +48,37 @@ impl Memory {
         Memory::default()
     }
 
+    /// Frame slot of the page at `page` base, if allocated. One compare on
+    /// the hot (same page as last access) path, one hash probe otherwise.
+    fn frame_of(&self, page: u64) -> Option<u32> {
+        let (last_page, last_frame) = self.last.get();
+        if last_page == page {
+            return Some(last_frame);
+        }
+        let frame = *self.index.get(&page)?;
+        self.last.set((page, frame));
+        Some(frame)
+    }
+
     fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_SIZE as usize] {
-        self.pages.entry(page).or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+        let frame = match self.frame_of(page) {
+            Some(f) => f,
+            None => {
+                let f = u32::try_from(self.frames.len()).expect("fewer than 2^32 pages");
+                self.frames.push(Box::new([0; PAGE_SIZE as usize]));
+                self.index.insert(page, f);
+                self.last.set((page, f));
+                f
+            }
+        };
+        &mut self.frames[frame as usize]
     }
 
     /// Read one byte.
     pub fn read_u8(&self, addr: Addr) -> u8 {
-        match self.pages.get(&addr.page().0) {
-            Some(p) => p[(addr.0 - addr.page().0) as usize],
+        let page = addr.page().0;
+        match self.frame_of(page) {
+            Some(f) => self.frames[f as usize][(addr.0 - page) as usize],
             None => 0,
         }
     }
@@ -49,17 +91,35 @@ impl Memory {
 
     /// Read a little-endian u64 (may straddle pages).
     pub fn read_u64(&self, addr: Addr) -> u64 {
-        let mut bytes = [0u8; 8];
-        for (i, b) in bytes.iter_mut().enumerate() {
-            *b = self.read_u8(addr.offset(i as i64));
+        let page = addr.page().0;
+        let off = (addr.0 - page) as usize;
+        if off + 8 <= PAGE_SIZE as usize {
+            match self.frame_of(page) {
+                Some(f) => {
+                    let bytes = &self.frames[f as usize][off..off + 8];
+                    u64::from_le_bytes(bytes.try_into().expect("8-byte slice"))
+                }
+                None => 0,
+            }
+        } else {
+            let mut bytes = [0u8; 8];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = self.read_u8(addr.offset(i as i64));
+            }
+            u64::from_le_bytes(bytes)
         }
-        u64::from_le_bytes(bytes)
     }
 
     /// Write a little-endian u64 (may straddle pages).
     pub fn write_u64(&mut self, addr: Addr, val: u64) {
-        for (i, b) in val.to_le_bytes().iter().enumerate() {
-            self.write_u8(addr.offset(i as i64), *b);
+        let page = addr.page().0;
+        let off = (addr.0 - page) as usize;
+        if off + 8 <= PAGE_SIZE as usize {
+            self.page_mut(page)[off..off + 8].copy_from_slice(&val.to_le_bytes());
+        } else {
+            for (i, b) in val.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr.offset(i as i64), *b);
+            }
         }
     }
 
@@ -77,15 +137,16 @@ impl Memory {
 
     /// Number of allocated pages (for tests and diagnostics).
     pub fn allocated_pages(&self) -> usize {
-        self.pages.len()
+        self.frames.len()
     }
 
-    /// Zero every allocated page **in place**, keeping the page allocations
-    /// for reuse. Behaviorally identical to a fresh [`Memory`] (reads of
-    /// unallocated pages already return zero), but a reset machine re-runs
-    /// a same-shaped workload without re-allocating its working set.
+    /// Zero every allocated page **in place**, keeping the page frames and
+    /// their index for reuse. Behaviorally identical to a fresh [`Memory`]
+    /// (reads of unallocated pages already return zero), but a reset
+    /// machine re-runs a same-shaped workload without re-allocating its
+    /// working set.
     pub fn clear(&mut self) {
-        for p in self.pages.values_mut() {
+        for p in &mut self.frames {
             p.fill(0);
         }
     }
@@ -93,7 +154,7 @@ impl Memory {
 
 impl std::fmt::Debug for Memory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Memory").field("allocated_pages", &self.pages.len()).finish()
+        f.debug_struct("Memory").field("allocated_pages", &self.frames.len()).finish()
     }
 }
 
@@ -128,5 +189,35 @@ mod tests {
         let mut m = Memory::new();
         m.write_bytes(Addr(100), b"smack");
         assert_eq!(m.read_bytes(Addr(100), 5), b"smack");
+    }
+
+    #[test]
+    fn page_memo_survives_interleaved_pages() {
+        let mut m = Memory::new();
+        // Alternate between two pages so the memo is repeatedly displaced.
+        for i in 0..32u64 {
+            m.write_u8(Addr(i), i as u8);
+            m.write_u8(Addr(5 * PAGE_SIZE + i), (i + 1) as u8);
+        }
+        for i in 0..32u64 {
+            assert_eq!(m.read_u8(Addr(i)), i as u8);
+            assert_eq!(m.read_u8(Addr(5 * PAGE_SIZE + i)), (i + 1) as u8);
+        }
+        assert_eq!(m.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn clear_zeroes_but_keeps_frames() {
+        let mut m = Memory::new();
+        m.write_u64(Addr(0x4000), 7);
+        m.write_u64(Addr(0x9000), 9);
+        assert_eq!(m.allocated_pages(), 2);
+        m.clear();
+        assert_eq!(m.allocated_pages(), 2, "frames stay allocated");
+        assert_eq!(m.read_u64(Addr(0x4000)), 0);
+        assert_eq!(m.read_u64(Addr(0x9000)), 0);
+        m.write_u64(Addr(0x4000), 11);
+        assert_eq!(m.read_u64(Addr(0x4000)), 11, "frames are reusable after clear");
+        assert_eq!(m.allocated_pages(), 2);
     }
 }

@@ -83,6 +83,7 @@ impl NoiseSource {
     }
 
     /// Jitter to add to a timed operation (cycles, may be negative).
+    #[inline]
     pub fn jitter(&mut self) -> i64 {
         if self.cfg.timing_jitter == 0 {
             return 0;
@@ -93,6 +94,7 @@ impl NoiseSource {
 
     /// Advance noise time by `cycles`; returns how many spurious L1i
     /// evictions should be injected for that interval.
+    #[inline]
     pub fn evictions_for(&mut self, cycles: u64) -> u32 {
         if self.cfg.evictions_per_kcycle <= 0.0 {
             return 0;

@@ -37,6 +37,7 @@ impl Tlb {
 
     /// Access the page containing `addr`. Returns `true` on a TLB hit;
     /// on a miss the translation is installed (evicting LRU if full).
+    #[inline]
     pub fn access(&mut self, addr: Addr) -> bool {
         let page = addr.page().0;
         self.clock += 1;

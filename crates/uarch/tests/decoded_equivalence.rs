@@ -1,0 +1,254 @@
+//! The decoded fast path is an *optimization*, never a semantic change:
+//! for arbitrary programs, executing through the pre-decoded side table
+//! must produce exactly the architectural state, clocks, and performance
+//! counters of the original per-step `BTreeMap` reference interpreter —
+//! and the same holds across engine burst sizes, including burst 1 (the
+//! historical one-instruction-per-call scheduling).
+
+use proptest::prelude::*;
+use smack_uarch::asm::{Assembler, Program};
+use smack_uarch::isa::{MemRef, Reg};
+use smack_uarch::{Machine, MicroArch, ThreadId};
+
+const T0: ThreadId = ThreadId::T0;
+const T1: ThreadId = ThreadId::T1;
+const CODE_BASE: u64 = 0x10_0000;
+const HELPER_BASE: u64 = 0x1f_0000;
+const DATA_BASE: u64 = 0x40_0000;
+
+/// One random body instruction. Register operands stay in `R0..=R7`;
+/// `R8` holds the data base, `R9` the helper address, `R10` the loop
+/// counter, so control and addressing stay well-formed no matter what the
+/// generator draws.
+#[derive(Clone, Debug)]
+enum BodyOp {
+    Alu(u8, u8, u8),
+    MovImm(u8, u64),
+    Load(u8, u8),
+    Store(u8, u8),
+    CmpImm(u8, u64),
+    /// `jcc` skipping the next op when the condition holds — a forward
+    /// branch, so generated programs always terminate.
+    SkipNext(u8),
+    /// `call` to the fixed helper routine (static target).
+    CallHelper,
+    /// `call *%r9` (dynamic target, resolved through the `pc → index`
+    /// map every time).
+    CallHelperReg,
+    Clflush(u8),
+    Nop,
+}
+
+fn op_strategy() -> impl Strategy<Value = BodyOp> {
+    prop_oneof![
+        (0u8..5, 0u8..8, 0u8..8).prop_map(|(k, d, s)| BodyOp::Alu(k, d, s)),
+        (0u8..8, any::<u64>()).prop_map(|(d, imm)| BodyOp::MovImm(d, imm)),
+        (0u8..8, 0u8..16).prop_map(|(d, slot)| BodyOp::Load(d, slot)),
+        (0u8..8, 0u8..16).prop_map(|(s, slot)| BodyOp::Store(s, slot)),
+        (0u8..8, 0u64..4).prop_map(|(r, imm)| BodyOp::CmpImm(r, imm)),
+        (0u8..5).prop_map(BodyOp::SkipNext),
+        Just(BodyOp::CallHelper),
+        Just(BodyOp::CallHelperReg),
+        (0u8..16).prop_map(BodyOp::Clflush),
+        Just(BodyOp::Nop),
+    ]
+}
+
+fn reg(i: u8) -> Reg {
+    Reg::from_index(i as usize)
+}
+
+fn cond(i: u8) -> smack_uarch::isa::Cond {
+    use smack_uarch::isa::Cond;
+    [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Le][i as usize % 5]
+}
+
+/// Assemble `ops` into a program: a two-iteration outer loop (backward
+/// branch) around the random body, with a `ret`-terminated helper routine
+/// off to the side for the call ops.
+fn build_program(ops: &[BodyOp]) -> Program {
+    let mut a = Assembler::new(CODE_BASE);
+    a.mov_imm(Reg::R8, DATA_BASE).mov_label(Reg::R9, "helper").mov_imm(Reg::R10, 0).label("loop");
+    // Each `SkipNext` at index `i` jumps to a label placed after op
+    // `i + 1` (or straight to the loop epilogue for a trailing skip).
+    // Consecutive skips may stack several labels at one point.
+    let mut labels_after: Vec<Vec<String>> = vec![Vec::new(); ops.len()];
+    for (i, op) in ops.iter().enumerate() {
+        if matches!(op, BodyOp::SkipNext(_)) && i + 1 < ops.len() {
+            labels_after[i + 1].push(format!("skip{i}"));
+        }
+    }
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            BodyOp::Alu(kind, d, s) => {
+                let (d, s) = (reg(d), reg(s));
+                match kind {
+                    0 => a.add(d, s),
+                    1 => a.sub(d, s),
+                    2 => a.mul(d, s),
+                    3 => a.xor(d, s),
+                    _ => a.or(d, s),
+                };
+            }
+            BodyOp::MovImm(d, imm) => {
+                a.mov_imm(reg(d), imm);
+            }
+            BodyOp::Load(d, slot) => {
+                a.load(reg(d), MemRef::disp(Reg::R8, slot as i64 * 8));
+            }
+            BodyOp::Store(s, slot) => {
+                a.store(reg(s), MemRef::disp(Reg::R8, slot as i64 * 8));
+            }
+            BodyOp::CmpImm(r, imm) => {
+                a.cmp_imm(reg(r), imm);
+            }
+            BodyOp::SkipNext(c) => {
+                if i + 1 < ops.len() {
+                    a.jcc(cond(c), format!("skip{i}"));
+                } else {
+                    // A trailing skip jumps to the loop epilogue.
+                    a.jcc(cond(c), "epilogue");
+                }
+            }
+            BodyOp::CallHelper => {
+                a.call("helper");
+            }
+            BodyOp::CallHelperReg => {
+                a.call_reg(Reg::R9);
+            }
+            BodyOp::Clflush(slot) => {
+                a.clflush(MemRef::disp(Reg::R8, slot as i64 * 8));
+            }
+            BodyOp::Nop => {
+                a.nop();
+            }
+        }
+        for l in &labels_after[i] {
+            a.label(l);
+        }
+    }
+    a.label("epilogue").add_imm(Reg::R10, 1).cmp_imm(Reg::R10, 2).jne("loop").halt();
+    a.org(HELPER_BASE).label("helper").add(Reg::R0, Reg::R1).nop().ret();
+    a.assemble().expect("generated program assembles")
+}
+
+/// Everything the fast path must preserve, captured after a run.
+#[derive(PartialEq, Debug)]
+struct Outcome {
+    regs: Vec<u64>,
+    clock_t0: u64,
+    clock_t1: u64,
+    counters_t0: smack_uarch::CounterSnapshot,
+    counters_t1: smack_uarch::CounterSnapshot,
+    data: Vec<u8>,
+}
+
+/// Run `prog` to completion under the given interpreter configuration.
+fn run(prog: &Program, decoded: bool, burst: u64) -> Outcome {
+    let mut m = Machine::new(MicroArch::CascadeLake.profile());
+    m.set_decoded_fast_path(decoded);
+    m.set_burst_steps(burst);
+    m.load_program(prog);
+    m.start_program(T0, prog.entry(), &[]);
+    m.run_until_halt(T0, 1_000_000).expect("program halts");
+    Outcome {
+        regs: (0..Reg::COUNT).map(|i| m.reg(T0, Reg::from_index(i))).collect(),
+        clock_t0: m.clock(T0),
+        clock_t1: m.clock(T1),
+        counters_t0: m.counters(T0).snapshot(),
+        counters_t1: m.counters(T1).snapshot(),
+        data: m.read_bytes(smack_uarch::Addr(DATA_BASE), 16 * 8),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Decoded vs reference interpreter, and burst 1 vs large bursts: all
+    /// four configurations retire the same architecture, time, and
+    /// counter state for arbitrary programs.
+    #[test]
+    fn prop_decoded_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let prog = build_program(&ops);
+        let reference = run(&prog, false, 4096);
+        for (decoded, burst) in [(true, 4096), (true, 1), (true, 7), (false, 1)] {
+            let got = run(&prog, decoded, burst);
+            prop_assert_eq!(
+                &got,
+                &reference,
+                "decoded={} burst={} diverged",
+                decoded,
+                burst
+            );
+        }
+    }
+}
+
+/// Dual-thread equivalence: a victim loop on T1 driven causally while T0
+/// runs its own program — the scheduling the covert channels rely on.
+#[test]
+fn dual_thread_decoded_matches_reference() {
+    let mut a = Assembler::new(0x20_0000);
+    a.mov_imm(Reg::R0, 0)
+        .mov_imm(Reg::R8, DATA_BASE + 0x1000)
+        .label("loop")
+        .add_imm(Reg::R0, 1)
+        .store(Reg::R0, MemRef::base(Reg::R8))
+        .cmp_imm(Reg::R0, 400)
+        .jne("loop")
+        .halt();
+    let victim = a.assemble().unwrap();
+
+    let mut b = Assembler::new(CODE_BASE);
+    b.mov_imm(Reg::R1, 0)
+        .mov_imm(Reg::R9, DATA_BASE)
+        .label("loop")
+        .add_imm(Reg::R1, 3)
+        .load(Reg::R2, MemRef::base(Reg::R9))
+        .mul(Reg::R2, Reg::R1)
+        .cmp_imm(Reg::R1, 900)
+        .jne("loop")
+        .halt();
+    let driver = b.assemble().unwrap();
+
+    let mut outcomes = Vec::new();
+    for (decoded, burst) in [(false, 4096), (true, 4096), (true, 1), (true, 64)] {
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        m.set_decoded_fast_path(decoded);
+        m.set_burst_steps(burst);
+        m.load_program(&victim);
+        m.load_program(&driver);
+        m.start_program(T1, victim.entry(), &[]);
+        m.start_program(T0, driver.entry(), &[]);
+        m.run_until_halt(T0, 1_000_000).unwrap();
+        m.run_until_halt(T1, 1_000_000).unwrap();
+        outcomes.push((
+            decoded,
+            burst,
+            m.reg(T0, Reg::R1),
+            m.reg(T0, Reg::R2),
+            m.reg(T1, Reg::R0),
+            m.clock(T0),
+            m.clock(T1),
+            m.counters(T0).snapshot(),
+            m.counters(T1).snapshot(),
+        ));
+    }
+    for o in &outcomes[1..] {
+        assert_eq!(
+            (&o.2, &o.3, &o.4, &o.5, &o.6, &o.7, &o.8),
+            (
+                &outcomes[0].2,
+                &outcomes[0].3,
+                &outcomes[0].4,
+                &outcomes[0].5,
+                &outcomes[0].6,
+                &outcomes[0].7,
+                &outcomes[0].8
+            ),
+            "config (decoded={}, burst={}) diverged from reference",
+            o.0,
+            o.1
+        );
+    }
+}

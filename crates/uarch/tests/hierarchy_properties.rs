@@ -102,8 +102,7 @@ proptest! {
             if reference.len() > geom.ways {
                 reference.remove(0);
             }
-            let mut resident: Vec<u64> =
-                cache.lines_in_set(0).iter().map(|a| a.0).collect();
+            let mut resident: Vec<u64> = cache.lines_in_set(0).map(|a| a.0).collect();
             resident.sort_unstable();
             let mut expect = reference.clone();
             expect.sort_unstable();
