@@ -2,7 +2,9 @@
 //!
 //! These do not correspond to paper artifacts; they interrogate the model:
 //! *why* does SMaCk win? Each ablation switches one mechanism off (or
-//! sweeps one parameter) and re-measures an attack.
+//! sweeps one parameter) and re-measures an attack. Every ablation is a
+//! registered [`crate::registry::Experiment`], so the shared CLI can run
+//! them individually or as the `ablations` bundle.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -13,15 +15,17 @@ use smack_crypto::Bignum;
 use smack_uarch::{MicroArch, NoiseConfig, ProbeKind, UarchProfile};
 use smack_victims::modexp::{ModexpAlgorithm, ModexpVictimBuilder};
 
+use crate::registry::Ctx;
 use crate::report::{banner, f, s, Table};
-use crate::runner::Runner;
-use crate::Mode;
 
 /// Sweep the machine-clear latency surcharge and measure the covert
 /// channel's error rate: the SMC margin *is* the attack's robustness.
-pub fn smc_penalty_sweep(mode: Mode) {
+pub fn smc_penalty_sweep(ctx: &Ctx) {
+    if !ctx.owns(0) {
+        return;
+    }
     banner("Ablation — SMC latency surcharge vs. channel error rate");
-    let bits = mode.pick(200, 1_000);
+    let bits = ctx.mode().pick(200, 1_000);
     let payload = random_payload(bits, 0xab1);
     let mut t = Table::new(&["smc_extra (cycles)", "margin over L2 (cycles)", "error rate (%)"]);
     let surcharges = [4u32, 8, 16, 40, 120, 275];
@@ -35,7 +39,7 @@ pub fn smc_penalty_sweep(mode: Mode) {
         profile
     };
     let spec_for = |i: usize| Scenario::custom(profile_for(i)).with_noise(NoiseConfig::noisy());
-    let results = Runner::from_env().run_scenarios(spec_for, surcharges.len(), |session, _| {
+    let results = ctx.runner().run_scenarios(spec_for, surcharges.len(), |session, _| {
         let costs = session.machine().profile().probe_costs.get(ProbeKind::Store);
         let margin = (costs.base + costs.smc_extra).saturating_sub(costs.base + costs.l2);
         let r =
@@ -47,7 +51,7 @@ pub fn smc_penalty_sweep(mode: Mode) {
         t.row(vec![s(smc_extra), s(margin), f(error_pct, 1)]);
     }
     t.print();
-    t.write_csv("ablation_smc_penalty");
+    ctx.write_csv(&t, "ablation_smc_penalty");
     println!();
     println!(
         "as the machine-clear surcharge shrinks toward the noise floor the \
@@ -58,9 +62,12 @@ pub fn smc_penalty_sweep(mode: Mode) {
 /// Switch off the front-end's L2-latency hiding: classic execute-probing
 /// suddenly has a usable margin, explaining *why* Mastik struggles on real
 /// front ends.
-pub fn frontend_ablation(mode: Mode) {
+pub fn frontend_ablation(ctx: &Ctx) {
+    if !ctx.owns(0) {
+        return;
+    }
     banner("Ablation — front-end L2-latency hiding vs. the Mastik margin");
-    let samples = mode.pick(50, 500);
+    let samples = ctx.mode().pick(50, 500);
     let mut t = Table::new(&["front-end", "execute L1i (cycles)", "execute L2 (cycles)", "margin"]);
     let variants = [("pipelined (real)", true), ("naive (exposed)", false)];
     let spec_for = |i: usize| -> Scenario {
@@ -70,7 +77,7 @@ pub fn frontend_ablation(mode: Mode) {
         }
         Scenario::custom(profile)
     };
-    let results = Runner::from_env().run_scenarios(spec_for, variants.len(), |session, _| {
+    let results = ctx.runner().run_scenarios(spec_for, variants.len(), |session, _| {
         let row = smack::characterize::figure1_mastik_row(
             session.machine(),
             smack_uarch::ThreadId::T0,
@@ -86,15 +93,18 @@ pub fn frontend_ablation(mode: Mode) {
         t.row(vec![(*label).to_owned(), f(l1i, 1), f(l2, 1), f(l2 - l1i, 1)]);
     }
     t.print();
-    t.write_csv("ablation_frontend");
+    ctx.write_csv(&t, "ablation_frontend");
 }
 
 /// Sweep the timer granularity (Intel's 1 cycle to far coarser than AMD's
 /// 21) and measure channel reliability — the paper's §7 discussion of AMD
 /// timer resolution.
-pub fn timer_resolution_sweep(mode: Mode) {
+pub fn timer_resolution_sweep(ctx: &Ctx) {
+    if !ctx.owns(0) {
+        return;
+    }
     banner("Ablation — rdtsc resolution vs. channel error rate");
-    let bits = mode.pick(200, 1_000);
+    let bits = ctx.mode().pick(200, 1_000);
     let payload = random_payload(bits, 0xab2);
     let mut t = Table::new(&["tsc resolution (cycles)", "error rate (%)"]);
     let resolutions = [1u32, 7, 21, 63, 127, 255];
@@ -103,7 +113,7 @@ pub fn timer_resolution_sweep(mode: Mode) {
         profile.tsc_resolution = resolutions[i];
         Scenario::custom(profile).with_noise(NoiseConfig::noisy())
     };
-    let errors = Runner::from_env().run_scenarios(spec_for, resolutions.len(), |session, _| {
+    let errors = ctx.runner().run_scenarios(spec_for, resolutions.len(), |session, _| {
         let r =
             run_channel_in(session, &ChannelSpec::prime_probe(ProbeKind::Store), &payload, false)
                 .expect("channel runs");
@@ -113,7 +123,7 @@ pub fn timer_resolution_sweep(mode: Mode) {
         t.row(vec![s(res), f(error_pct, 1)]);
     }
     t.print();
-    t.write_csv("ablation_timer");
+    ctx.write_csv(&t, "ablation_timer");
     println!();
     println!(
         "SMaCk's multi-hundred-cycle margins survive even very coarse timers \
@@ -124,15 +134,18 @@ pub fn timer_resolution_sweep(mode: Mode) {
 
 /// Sweep the prime→probe wait (the paper's §5.2 τ_w discussion) against
 /// single-trace RSA recovery.
-pub fn tau_w_sweep(mode: Mode) {
+pub fn tau_w_sweep(ctx: &Ctx) {
+    if !ctx.owns(0) {
+        return;
+    }
     banner("Ablation — τ_w (prime→probe wait) vs. RSA single-trace recovery");
-    let bits = mode.pick(128, 512);
+    let bits = ctx.mode().pick(128, 512);
     let mut rng = SmallRng::seed_from_u64(0xab3);
     let exp = Bignum::random_bits(&mut rng, bits);
     let mut t = Table::new(&["wait (cycles)", "single-trace recovery"]);
     let waits = [50u64, 100, 200, 400, 800, 1600];
     let scenario = Scenario::new(MicroArch::TigerLake).with_seed(7);
-    let rates = Runner::from_env().run_scenarios(scenario, waits.len(), |session, i| {
+    let rates = ctx.runner().run_scenarios(scenario, waits.len(), |session, i| {
         let cfg = RsaAttackConfig {
             wait_cycles: waits[i],
             noise: NoiseConfig::quiet(),
@@ -146,7 +159,7 @@ pub fn tau_w_sweep(mode: Mode) {
         t.row(vec![s(wait), f(rate, 3)]);
     }
     t.print();
-    t.write_csv("ablation_tau_w");
+    ctx.write_csv(&t, "ablation_tau_w");
     println!();
     println!(
         "too little wait starves the victim of progress between samples; too \
@@ -155,11 +168,73 @@ pub fn tau_w_sweep(mode: Mode) {
     );
 }
 
+/// τ_w *jitter* ablation (the ROADMAP trace-diversification lever): the
+/// same multi-trace RSA recovery with a fixed exposure window vs a
+/// per-trace jittered one. With a fixed window the same decode misses
+/// recur in every trace (systematic error — no vote can fix them);
+/// jitter decorrelates the misses so majority voting has independent
+/// errors to outvote.
+pub fn tau_jitter_sweep(ctx: &Ctx) {
+    if !ctx.owns(0) {
+        return;
+    }
+    banner("Ablation — τ_w jitter: fixed vs. jittered exposure window (RSA voting)");
+    let bits = ctx.mode().pick(128, 512);
+    let max_traces = ctx.mode().pick(8, 15);
+    let mut rng = SmallRng::seed_from_u64(0xab7);
+    let exp = Bignum::random_bits(&mut rng, bits);
+    let jitters = [0u64, 16, 48, 96];
+    let mut t = Table::new(&[
+        "jitter (cycles)",
+        "single-trace (aligned)",
+        &format!("after {max_traces} traces"),
+        "best (aligned)",
+    ]);
+    // The hardest quick-mode operating point: Prime+iLock, the weakest
+    // probe class in Figure 5, where the fixed window leaves plenty of
+    // systematic decode error to decorrelate.
+    let scenario = Scenario::new(MicroArch::TigerLake).with_noise(NoiseConfig::realistic());
+    let results = ctx.runner().run_scenarios(scenario, jitters.len(), |session, i| {
+        let cfg =
+            RsaAttackConfig { wait_jitter: jitters[i], ..RsaAttackConfig::new(ProbeKind::Lock) };
+        let victim = rsa::build_victim(&cfg);
+        let mut decodes: Vec<Vec<bool>> = Vec::new();
+        let mut rates = Vec::new();
+        for trace_idx in 0..max_traces {
+            session.renew(3_000 + trace_idx as u64);
+            let trace = rsa::collect_trace_in(session, &victim, &exp, &cfg).expect("trace");
+            decodes.push(rsa::decode_trace(&trace, exp.bit_len()));
+            let combined = rsa::majority_vote(&decodes, exp.bit_len());
+            rates.push(rsa::score_bits_aligned(&combined, &exp));
+        }
+        let single = rates.first().copied().unwrap_or(0.0);
+        let last = rates.last().copied().unwrap_or(0.0);
+        let best = rates.iter().cloned().fold(0.0f64, f64::max);
+        (single, last, best)
+    });
+    for (jitter, (single, last, best)) in jitters.iter().zip(results) {
+        t.row(vec![s(jitter), f(single, 3), f(last, 3), f(best, 3)]);
+    }
+    t.print();
+    ctx.write_csv(&t, "ablation_tau_jitter");
+    println!();
+    println!(
+        "the with/without comparison: row 0 is the fixed window, whose \
+         systematic misses recur in every trace and cap recovery; a small \
+         jitter moves the sampling phase off the pathological alignment and \
+         lifts the best recovery well past the fixed-window plateau (too \
+         much jitter degrades individual traces again)."
+    );
+}
+
 /// §6.2 countermeasure: the identical attack against the leaky
 /// square-and-multiply victim vs. the constant-time Montgomery ladder.
-pub fn countermeasure(mode: Mode) {
+pub fn countermeasure(ctx: &Ctx) {
+    if !ctx.owns(0) {
+        return;
+    }
     banner("Countermeasure — constant-time exponentiation defeats the attack (§6.2)");
-    let bits = mode.pick(128, 512);
+    let bits = ctx.mode().pick(128, 512);
     let mut rng = SmallRng::seed_from_u64(0xab4);
     let exp = Bignum::random_bits(&mut rng, bits);
     let cfg =
@@ -177,7 +252,7 @@ pub fn countermeasure(mode: Mode) {
         ("Montgomery ladder (constant-time)", ModexpAlgorithm::MontgomeryLadder),
     ];
     let scenario = Scenario::new(MicroArch::TigerLake).with_seed(11);
-    let results = Runner::from_env().run_scenarios(scenario, victims.len(), |session, i| {
+    let results = ctx.runner().run_scenarios(scenario, victims.len(), |session, i| {
         let mut b = ModexpVictimBuilder::new(victims[i].1);
         b.operand_bits(cfg.operand_bits);
         let victim = b.build();
@@ -191,7 +266,7 @@ pub fn countermeasure(mode: Mode) {
         t.row(vec![(*label).to_owned(), f(rate, 3), f(ones, 2), f(truth_ones, 2)]);
     }
     t.print();
-    t.write_csv("ablation_countermeasure");
+    ctx.write_csv(&t, "ablation_countermeasure");
     println!();
     println!(
         "the leaky victim's decoded ones-fraction tracks the key; the ladder \
@@ -202,9 +277,11 @@ pub fn countermeasure(mode: Mode) {
 
 /// How much does the SMC storm slow the sibling? (§4.2's 235-cycle clear
 /// and §7's up-to-10x claims.)
-pub fn sibling_slowdown(mode: Mode) {
+pub fn sibling_slowdown(ctx: &Ctx) {
+    if !ctx.owns(0) {
+        return;
+    }
     banner("Ablation — victim slowdown under SMC machine-clear storms");
-    let _ = mode;
     use smack::oracle::EvictionSet;
     use smack::probe::Prober;
     use smack_uarch::asm::Assembler;
@@ -215,50 +292,39 @@ pub fn sibling_slowdown(mode: Mode) {
         Table::new(&["attacker behaviour", "victim instructions / 100k cycles", "slowdown"]);
     let behaviours = [("idle", false), ("Prime+iStore storm", true)];
     let scenario = Scenario::new(MicroArch::CascadeLake);
-    let retired_counts =
-        Runner::from_env().run_scenarios(scenario, behaviours.len(), |session, i| {
-            let attack = behaviours[i].1;
-            let m: &mut smack_uarch::Machine = session.machine();
-            let mut a = Assembler::new(0x60_0000);
-            a.label("spin").add_imm(Reg::R2, 1).jmp("spin");
-            let prog = a.assemble().expect("victim assembles");
-            m.load_program(&prog);
-            let ev = EvictionSet::for_machine(m, 0x10_0000, 7);
-            ev.install(m);
-            let mut p = Prober::new(ThreadId::T0);
-            m.start_program(ThreadId::T1, prog.entry(), &[]);
-            let before = m.counters(ThreadId::T1).snapshot();
-            let start = m.clock(ThreadId::T0);
-            while m.clock(ThreadId::T0) - start < 100_000 {
-                if attack {
-                    ev.prime(m, &mut p).expect("prime");
-                    ev.probe(m, &mut p, ProbeKind::Store).expect("probe");
-                } else {
-                    m.advance(ThreadId::T0, 500).expect("advance");
-                }
+    let retired_counts = ctx.runner().run_scenarios(scenario, behaviours.len(), |session, i| {
+        let attack = behaviours[i].1;
+        let m: &mut smack_uarch::Machine = session.machine();
+        let mut a = Assembler::new(0x60_0000);
+        a.label("spin").add_imm(Reg::R2, 1).jmp("spin");
+        let prog = a.assemble().expect("victim assembles");
+        m.load_program(&prog);
+        let ev = EvictionSet::for_machine(m, 0x10_0000, 7);
+        ev.install(m);
+        let mut p = Prober::new(ThreadId::T0);
+        m.start_program(ThreadId::T1, prog.entry(), &[]);
+        let before = m.counters(ThreadId::T1).snapshot();
+        let start = m.clock(ThreadId::T0);
+        while m.clock(ThreadId::T0) - start < 100_000 {
+            if attack {
+                ev.prime(m, &mut p).expect("prime");
+                ev.probe(m, &mut p, ProbeKind::Store).expect("probe");
+            } else {
+                m.advance(ThreadId::T0, 500).expect("advance");
             }
-            m.counters(ThreadId::T1).delta(&before, PerfEvent::InstRetired) as f64
-        });
+        }
+        m.counters(ThreadId::T1).delta(&before, PerfEvent::InstRetired) as f64
+    });
     let baseline = retired_counts[0];
     for ((label, _), retired) in behaviours.iter().zip(&retired_counts) {
         let slowdown = if *retired > 0.0 { baseline / retired } else { f64::INFINITY };
         t.row(vec![(*label).to_owned(), f(*retired, 0), format!("{:.1}x", slowdown)]);
     }
     t.print();
-    t.write_csv("ablation_slowdown");
+    ctx.write_csv(&t, "ablation_slowdown");
     println!();
     println!(
         "paper: a single clear stalls the sibling ~235 cycles; sustained \
               storms slow it several-fold (§7 reports up to 10x in the case studies)."
     );
-}
-
-/// Run every ablation.
-pub fn all(mode: Mode) {
-    smc_penalty_sweep(mode);
-    frontend_ablation(mode);
-    timer_resolution_sweep(mode);
-    tau_w_sweep(mode);
-    countermeasure(mode);
-    sibling_slowdown(mode);
 }

@@ -1,7 +1,8 @@
 //! Ablation studies: SMC margin, front-end latency hiding, timer
-//! resolution, τ_w, the §6.2 constant-time countermeasure, and sibling
-//! slowdown. Pass `--full` for larger sample counts.
-fn main() {
-    let mode = smack_bench::Mode::from_args();
-    smack_bench::ablations::all(mode);
+//! resolution, τ_w, τ_w jitter, the §6.2 constant-time countermeasure,
+//! and sibling slowdown — via the shared registry CLI.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    smack_bench::cli::run(smack_bench::cli::Selection::Ablations)
 }

@@ -1,71 +1,15 @@
-//! Regenerate every table and figure in sequence (run the `fingerprint`
-//! and `ablations` binaries separately for Case Study II step 1 and the
-//! ablation studies). Pass `--full` for paper-scale sample counts.
+//! Regenerate every paper table and figure in sequence via the shared
+//! registry CLI (run `fingerprint` and `ablations` for the case-study
+//! and ablation bundles; any experiment name can also be given
+//! explicitly — `--list` enumerates them).
 //!
-//! Ends with a wall-time summary per figure/table so interpreter or
-//! scheduler regressions show up in the repro log itself (the CSVs under
-//! `target/repro/` carry no timing and stay bit-identical across
-//! machines).
-use std::time::Instant;
+//! Unsharded runs end with a wall-time summary per figure/table so
+//! interpreter or scheduler regressions show up in the repro log itself.
+//! `--shards N` spawns one process per shard, shares the persistent
+//! calibration cache between them, and merges the per-shard CSVs into
+//! output bit-identical to the unsharded run.
+use std::process::ExitCode;
 
-use smack_bench::experiments as e;
-use smack_bench::report;
-
-fn main() {
-    let mode = smack_bench::Mode::from_args();
-    let jobs: [(&str, &dyn Fn(smack_bench::Mode)); 11] = [
-        ("fig1", &|m| {
-            e::fig1(m);
-        }),
-        ("fig2", &|m| {
-            e::fig2(m);
-        }),
-        ("table1", &|m| {
-            e::table1(m);
-        }),
-        ("fig3", &|m| {
-            e::fig3(m);
-        }),
-        ("fig4", &|m| {
-            e::fig4(m);
-        }),
-        ("fig5", &|m| {
-            e::fig5(m);
-        }),
-        ("table2", &|m| {
-            e::table2(m);
-        }),
-        ("fig6", &|m| {
-            e::fig6(m);
-        }),
-        ("table3", &|m| {
-            e::table3(m);
-        }),
-        ("table4", &|m| {
-            e::table4(m);
-        }),
-        ("table5", &|m| {
-            e::table5(m);
-        }),
-    ];
-    let total = Instant::now();
-    let mut times = Vec::with_capacity(jobs.len());
-    for (name, job) in jobs {
-        let t = Instant::now();
-        job(mode);
-        times.push((name, t.elapsed()));
-    }
-    let total = total.elapsed();
-
-    report::banner("wall time");
-    let mut table = report::Table::new(&["figure", "wall ms", "share"]);
-    for (name, d) in &times {
-        table.row(vec![
-            report::s(name),
-            report::f(d.as_secs_f64() * 1e3, 1),
-            format!("{:.0}%", d.as_secs_f64() / total.as_secs_f64() * 100.0),
-        ]);
-    }
-    table.row(vec!["total".to_owned(), report::f(total.as_secs_f64() * 1e3, 1), String::new()]);
-    table.print();
+fn main() -> ExitCode {
+    smack_bench::cli::run(smack_bench::cli::Selection::Paper)
 }

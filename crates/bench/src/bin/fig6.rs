@@ -1,6 +1,7 @@
-//! Regenerate the paper's fig6 (see `smack-bench` docs). Pass `--full`
-//! for paper-scale sample counts.
-fn main() {
-    let mode = smack_bench::Mode::from_args();
-    smack_bench::experiments::fig6(mode);
+//! Regenerate the paper's fig6 via the shared registry CLI (see the
+//! `smack-bench` docs; `--list` enumerates every experiment).
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    smack_bench::cli::run(smack_bench::cli::Selection::Named("fig6"))
 }

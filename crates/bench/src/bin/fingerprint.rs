@@ -1,38 +1,8 @@
 //! Case Study II steps 1–2 (paper §5.2): identify the victim's crypto
 //! library version from L1i-set activity fingerprints, and locate the
-//! multiplication set. Pass `--full` for the complete 34-version corpus.
-use smack::fingerprint::{library_id_experiment, mul_set_detection_accuracy, SweepConfig};
-use smack_bench::report::{banner, f, s, Table};
-use smack_bench::Mode;
-use smack_uarch::MicroArch;
-use smack_victims::corpus::corpus;
+//! multiplication set — via the shared registry CLI.
+use std::process::ExitCode;
 
-fn main() {
-    let mode = Mode::from_args();
-    banner("Case Study II step 1 — library version fingerprinting (Tiger Lake)");
-    let full = corpus();
-    let versions: Vec<_> = match mode {
-        Mode::Quick => full.iter().cloned().step_by(4).collect(), // 9 versions
-        Mode::Full => full.clone(),
-    };
-    let cfg = SweepConfig::default();
-    let report = library_id_experiment(
-        MicroArch::TigerLake,
-        &versions,
-        mode.pick(5, 8),
-        mode.pick(1, 2),
-        &cfg,
-    )
-    .expect("experiment runs");
-    let mut t = Table::new(&["metric", "measured", "paper"]);
-    t.row(vec![s("versions classified"), s(report.versions), s("34 (20 OpenSSL + 14 Libgcrypt)")]);
-    t.row(vec![s("offline cross-validation accuracy"), f(report.cv_accuracy, 3), s("1.00")]);
-    t.row(vec![s("online identification accuracy"), f(report.online_accuracy, 3), s("0.97")]);
-    t.print();
-    t.write_csv("fingerprint");
-
-    banner("Case Study II step 2 — multiplication-set detection");
-    let acc = mul_set_detection_accuracy(MicroArch::TigerLake, mode.pick(8, 24), &cfg)
-        .expect("experiment runs");
-    println!("binary kNN accuracy: {acc:.3}   (paper: 0.96)");
+fn main() -> ExitCode {
+    smack_bench::cli::run(smack_bench::cli::Selection::Named("fingerprint"))
 }

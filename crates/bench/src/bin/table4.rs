@@ -1,6 +1,7 @@
-//! Regenerate the paper's table4 (see `smack-bench` docs). Pass `--full`
-//! for paper-scale sample counts.
-fn main() {
-    let mode = smack_bench::Mode::from_args();
-    smack_bench::experiments::table4(mode);
+//! Regenerate the paper's table4 via the shared registry CLI (see the
+//! `smack-bench` docs; `--list` enumerates every experiment).
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    smack_bench::cli::run(smack_bench::cli::Selection::Named("table4"))
 }

@@ -1,20 +1,33 @@
 //! The per-table/per-figure experiment implementations.
 //!
-//! Each function prints the paper-comparable rows, writes a CSV under
-//! `target/repro/`, and returns its headline numbers so `EXPERIMENTS.md`
-//! and the integration tests can assert on shapes.
+//! Each function prints the paper-comparable rows, writes a CSV through
+//! its [`Ctx`], and returns its headline numbers so the integration tests
+//! can assert on shapes.
 //!
-//! Every experiment fans its trials out through
-//! [`Runner::run_scenarios`], so each trial closure receives a pooled
-//! [`Session`](smack::Session) instead of constructing `Machine`s and
-//! calibrating inline: machine construction is amortized across trials,
-//! and a probe threshold is calibrated at most once per
-//! `(profile, probe class, cold placement, noise)` for the whole process.
+//! Every experiment receives a [`Ctx`] from the registry: the run mode,
+//! the one shard-aware [`Runner`](crate::runner::Runner) threaded down
+//! from the CLI (so `--threads` and `--shard` apply uniformly — no
+//! harness consults the environment on its own), CSV routing, and the
+//! flag-gated τ_w jitter. Trials fan out through
+//! [`Runner::run_scenarios`](crate::runner::Runner::run_scenarios), so
+//! each trial closure receives a pooled [`Session`](smack::Session):
+//! machine construction is amortized across trials and a probe threshold
+//! is calibrated at most once per
+//! `(profile, probe class, cold placement, noise)` for the whole process
+//! (and, with the persistent calibration cache attached, for the whole
+//! sharded campaign).
+//!
+//! Sharding happens at *unit* granularity — a probe class for [`fig5`],
+//! an SRP group for [`table2`], a (processor, probe) cell for [`table4`],
+//! the whole experiment otherwise. Units derive every seed from their own
+//! index, so the rows a shard produces are bit-identical to the same rows
+//! of an unsharded run.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use smack::channel::{random_payload, run_channel_in, ChannelSpec};
 use smack::characterize::{figure1, figure1_mastik_row, figure2};
+use smack::fingerprint::{library_id_experiment, mul_set_detection_accuracy, SweepConfig};
 use smack::ispectre::{applicability_in, leak_secret_in, Applicability, ISpectreConfig};
 use smack::rsa::{self, RsaAttackConfig};
 use smack::session::{Scenario, Sessions};
@@ -22,18 +35,31 @@ use smack::srp::{self, SrpAttackConfig};
 use smack_crypto::Bignum;
 use smack_mastik::MastikMonitor;
 use smack_uarch::{Machine, MicroArch, NoiseConfig, Placement, ProbeKind, ThreadId};
+use smack_victims::corpus::corpus;
 
+use crate::registry::Ctx;
 use crate::report::{banner, f, s, Table};
 use crate::runner::Runner;
 use crate::Mode;
 
+/// The probe classes Figure 5 sweeps — one shardable unit each.
+pub const FIG5_KINDS: [ProbeKind; 4] =
+    [ProbeKind::Flush, ProbeKind::Store, ProbeKind::Lock, ProbeKind::Clwb];
+
+/// Table 4's (processor, probe) grid size — one shardable unit per cell.
+pub const TABLE4_CELLS: usize = 2 * 6;
+
 /// Figure 1: probe latency per cache state on Cascade Lake, plus the
-/// Mastik comparison row. Returns the store L1i/LLC margin.
-pub fn fig1(mode: Mode) -> f64 {
+/// Mastik comparison row. Returns the store L1i/LLC margin (NaN when this
+/// shard does not own the experiment).
+pub fn fig1(ctx: &Ctx) -> f64 {
+    if !ctx.owns(0) {
+        return f64::NAN;
+    }
     banner("Figure 1 — probe timing per microarchitectural state (Cascade Lake)");
-    let samples = mode.pick(100, 10_000);
+    let samples = ctx.mode().pick(100, 10_000);
     let mut results =
-        Runner::from_env().run_scenarios(Scenario::new(MicroArch::CascadeLake), 2, |session, i| {
+        ctx.runner().run_scenarios(Scenario::new(MicroArch::CascadeLake), 2, |session, i| {
             let m = session.machine();
             if i == 0 {
                 figure1(m, ThreadId::T0, samples).expect("characterization runs")
@@ -74,7 +100,7 @@ pub fn fig1(mode: Mode) -> f64 {
         f(mean(&mastik, ProbeKind::Execute, Placement::DramOnly), 0),
     ]);
     t.print();
-    t.write_csv("fig1");
+    ctx.write_csv(&t, "fig1");
     println!();
     println!(
         "paper shape: clflush/store/lock/prefetch/clwb spike on L1i-resident lines \
@@ -84,11 +110,14 @@ pub fn fig1(mode: Mode) -> f64 {
 }
 
 /// Figure 2: counter deltas per conflicting probe, Intel + AMD.
-pub fn fig2(mode: Mode) {
+pub fn fig2(ctx: &Ctx) {
+    if !ctx.owns(0) {
+        return;
+    }
     banner("Figure 2 — SMC reverse engineering via performance counters");
-    let reps = mode.pick(200, 10_000);
+    let reps = ctx.mode().pick(200, 10_000);
     let arches = [MicroArch::CascadeLake, MicroArch::AmdRyzen5];
-    let per_arch = Runner::from_env().run_scenarios(
+    let per_arch = ctx.runner().run_scenarios(
         |i: usize| Scenario::new(arches[i]),
         arches.len(),
         |session, _| {
@@ -110,10 +139,10 @@ pub fn fig2(mode: Mode) {
             t.row(row);
         }
         t.print();
-        t.write_csv(&format!(
-            "fig2_{}",
-            if *arch == MicroArch::CascadeLake { "intel" } else { "amd" }
-        ));
+        ctx.write_csv(
+            &t,
+            &format!("fig2_{}", if *arch == MicroArch::CascadeLake { "intel" } else { "amd" }),
+        );
         println!();
     }
     println!(
@@ -138,9 +167,12 @@ pub struct ChannelRow {
 
 /// Table 1: the twelve covert channels on Cascade Lake (plus the paper's
 /// AMD Prime+iLock note). Returns the rows.
-pub fn table1(mode: Mode) -> Vec<ChannelRow> {
+pub fn table1(ctx: &Ctx) -> Vec<ChannelRow> {
+    if !ctx.owns(0) {
+        return Vec::new();
+    }
     banner("Table 1 — SMC covert channels (Cascade Lake)");
-    let bits = mode.pick(300, 4_000);
+    let bits = ctx.mode().pick(300, 4_000);
     let payload = random_payload(bits, 0x7ab1e1);
     let specs = ChannelSpec::table1();
     // One trial per channel spec, plus the paper's AMD note as a final
@@ -152,7 +184,7 @@ pub fn table1(mode: Mode) -> Vec<ChannelRow> {
         let arch = if i < specs.len() { MicroArch::CascadeLake } else { MicroArch::AmdRyzen5 };
         Scenario::new(arch).with_noise(NoiseConfig::noisy())
     };
-    let outcomes = Runner::from_env().run_scenarios(spec_for, specs.len() + 1, |session, i| {
+    let outcomes = ctx.runner().run_scenarios(spec_for, specs.len() + 1, |session, i| {
         if i < specs.len() {
             run_channel_in(session, &specs[i], &payload, false)
         } else {
@@ -198,7 +230,7 @@ pub fn table1(mode: Mode) -> Vec<ChannelRow> {
         });
     }
     t.print();
-    t.write_csv("table1");
+    ctx.write_csv(&t, "table1");
     println!();
     println!(
         "paper shape: Flush+iReload channels are several times faster than \
@@ -209,9 +241,12 @@ pub fn table1(mode: Mode) -> Vec<ChannelRow> {
 }
 
 /// Figure 3: receiver trace with assigned bits (Tiger Lake, Prime+iStore).
-pub fn fig3(mode: Mode) {
+pub fn fig3(ctx: &Ctx) {
+    if !ctx.owns(0) {
+        return;
+    }
     banner("Figure 3 — covert-channel receiver trace (Tiger Lake, Prime+iStore)");
-    let bits = mode.pick(24, 48);
+    let bits = ctx.mode().pick(24, 48);
     // A recognizable pattern, as in the paper's plot.
     let payload: Vec<bool> = (0..bits).map(|i| matches!(i % 4, 0 | 2 | 3)).collect();
     let mut session = Sessions::global()
@@ -231,7 +266,7 @@ pub fn fig3(mode: Mode) {
         ]);
     }
     t.print();
-    t.write_csv("fig3");
+    ctx.write_csv(&t, "fig3");
     println!();
     println!(
         "decoded {} bits with {} errors ({:.1}%); low-timing samples mark the \
@@ -242,9 +277,12 @@ pub fn fig3(mode: Mode) {
 
 /// Figure 4: per-sample minimum probe timing while an RSA victim runs —
 /// low dips are multiplication activity.
-pub fn fig4(mode: Mode) {
+pub fn fig4(ctx: &Ctx) {
+    if !ctx.owns(0) {
+        return;
+    }
     banner("Figure 4 — multiplication activity via Prime+iStore (Tiger Lake)");
-    let bits = mode.pick(96, 256);
+    let bits = ctx.mode().pick(96, 256);
     let mut rng = SmallRng::seed_from_u64(0xf19);
     let exp = Bignum::random_bits(&mut rng, bits);
     let cfg = RsaAttackConfig::new(ProbeKind::Store);
@@ -257,7 +295,7 @@ pub fn fig4(mode: Mode) {
         t.row(vec![s(i), s(sample.min_timing), s(if sample.active { "*" } else { "" })]);
     }
     t.print();
-    t.write_csv("fig4");
+    ctx.write_csv(&t, "fig4");
     let events = rsa::events_from_samples(&trace.samples);
     println!();
     println!(
@@ -285,50 +323,53 @@ pub struct Fig5Row {
     pub best: f64,
 }
 
-/// Figure 5: traces needed for 70% key recovery per probe class.
-pub fn fig5(mode: Mode) -> Vec<Fig5Row> {
+/// Figure 5: traces needed for 70% key recovery per probe class. One unit
+/// per probe class; returns the rows for this shard's units.
+pub fn fig5(ctx: &Ctx) -> Vec<Fig5Row> {
+    let owned = ctx.units(FIG5_KINDS.len());
+    if owned.is_empty() {
+        return Vec::new();
+    }
     banner("Figure 5 — traces needed for 70% RSA key recovery (Tiger Lake)");
-    let bits = mode.pick(160, 512);
-    let max_traces = mode.pick(12, 25);
+    let bits = ctx.mode().pick(160, 512);
+    let max_traces = ctx.mode().pick(12, 25);
     let mut rng = SmallRng::seed_from_u64(0xf5);
     let exp = Bignum::random_bits(&mut rng, bits);
-    let kinds = [ProbeKind::Flush, ProbeKind::Store, ProbeKind::Lock, ProbeKind::Clwb];
+    let tau_jitter = ctx.tau_jitter();
     // One trial per probe class; each trial's trace sequence keeps its
     // sequential early-exit semantics (stop at the first 70% vote). The
     // trial renews its one pooled session per trace instead of building a
     // machine per trace.
     // All four probe classes attack under the default realistic noise.
     let scenario = Scenario::new(MicroArch::TigerLake).with_noise(NoiseConfig::realistic());
-    let rows: Vec<Fig5Row> =
-        Runner::from_env().run_scenarios(scenario, kinds.len(), |session, ki| {
-            let kind = kinds[ki];
-            let cfg = RsaAttackConfig::new(kind);
-            let victim = rsa::build_victim(&cfg);
-            let mut decodes: Vec<Vec<bool>> = Vec::new();
-            let mut aligned_rates = Vec::new();
-            let mut positional_single = 0.0;
-            let mut used = None;
-            for trace_idx in 0..max_traces {
-                session.renew(2_000 + trace_idx as u64);
-                let trace =
-                    rsa::collect_trace_in(session, &victim, &exp, &cfg).expect("attack runs");
-                let decoded = rsa::decode_trace(&trace, exp.bit_len());
-                if trace_idx == 0 {
-                    positional_single = rsa::score_bits(&decoded, &exp);
-                }
-                decodes.push(decoded);
-                let combined = rsa::majority_vote(&decodes, exp.bit_len());
-                let rate = rsa::score_bits_aligned(&combined, &exp);
-                aligned_rates.push(rate);
-                if rate >= 0.70 && used.is_none() {
-                    used = Some(trace_idx + 1);
-                    break;
-                }
+    let rows: Vec<Fig5Row> = ctx.runner().run_scenarios(scenario, owned.len(), |session, trial| {
+        let kind = FIG5_KINDS[owned[trial]];
+        let cfg = RsaAttackConfig { wait_jitter: tau_jitter, ..RsaAttackConfig::new(kind) };
+        let victim = rsa::build_victim(&cfg);
+        let mut decodes: Vec<Vec<bool>> = Vec::new();
+        let mut aligned_rates = Vec::new();
+        let mut positional_single = 0.0;
+        let mut used = None;
+        for trace_idx in 0..max_traces {
+            session.renew(2_000 + trace_idx as u64);
+            let trace = rsa::collect_trace_in(session, &victim, &exp, &cfg).expect("attack runs");
+            let decoded = rsa::decode_trace(&trace, exp.bit_len());
+            if trace_idx == 0 {
+                positional_single = rsa::score_bits(&decoded, &exp);
             }
-            let single = aligned_rates.first().copied().unwrap_or(0.0);
-            let best = aligned_rates.iter().cloned().fold(0.0f64, f64::max);
-            Fig5Row { kind, single_trace: single, positional_single, traces_for_70: used, best }
-        });
+            decodes.push(decoded);
+            let combined = rsa::majority_vote(&decodes, exp.bit_len());
+            let rate = rsa::score_bits_aligned(&combined, &exp);
+            aligned_rates.push(rate);
+            if rate >= 0.70 && used.is_none() {
+                used = Some(trace_idx + 1);
+                break;
+            }
+        }
+        let single = aligned_rates.first().copied().unwrap_or(0.0);
+        let best = aligned_rates.iter().cloned().fold(0.0f64, f64::max);
+        Fig5Row { kind, single_trace: single, positional_single, traces_for_70: used, best }
+    });
     let mut t = Table::new(&[
         "probe",
         "single-trace (aligned)",
@@ -336,8 +377,8 @@ pub fn fig5(mode: Mode) -> Vec<Fig5Row> {
         "traces for 70% (aligned)",
         "best (aligned)",
     ]);
-    for row in &rows {
-        t.row(vec![
+    for (unit, row) in owned.iter().zip(&rows) {
+        t.unit(*unit).row(vec![
             s(row.kind),
             f(row.single_trace, 3),
             f(row.positional_single, 3),
@@ -346,7 +387,7 @@ pub fn fig5(mode: Mode) -> Vec<Fig5Row> {
         ]);
     }
     t.print();
-    t.write_csv("fig5");
+    ctx.write_csv(&t, "fig5");
     println!();
     println!(
         "paper shape: a single trace leaks ~63% of the key; Flush needs the \
@@ -366,13 +407,27 @@ pub struct Table2Row {
     pub mastik: f64,
 }
 
-/// The Table 2 measurement grid: every (group size, key) cell is one
-/// independent trial, fanned out over `runner` and averaged per group.
-/// Exposed so tests can check parallel/sequential result equality.
+/// The full Table 2 measurement grid — every group, every key — fanned
+/// out over `runner` and averaged per group. Exposed so tests can check
+/// parallel/sequential result equality.
 pub fn table2_rows(mode: Mode, runner: &Runner) -> Vec<Table2Row> {
+    let all: Vec<usize> = (0..smack_crypto::SrpGroup::PAPER_SIZES.len()).collect();
+    table2_rows_for(mode, runner, &all, 0)
+}
+
+/// The Table 2 grid restricted to the group-size units in `groups` (by
+/// index into `SrpGroup::PAPER_SIZES`): every (group, key) cell is one
+/// independent trial whose seeds derive from the key index alone, so a
+/// group's row is identical no matter which shard computes it.
+fn table2_rows_for(
+    mode: Mode,
+    runner: &Runner,
+    groups: &[usize],
+    tau_jitter: u64,
+) -> Vec<Table2Row> {
     let keys = mode.pick(3, 100);
     let exp_bits = mode.pick(160, 0); // 0 = full group size
-    let groups = smack_crypto::SrpGroup::PAPER_SIZES;
+    let sizes = smack_crypto::SrpGroup::PAPER_SIZES;
     // Both monitors run under the noisy model with the key index as the
     // machine seed; the trial renews its session between the SMaCk attack
     // and the Mastik baseline (same seed → same machine state either way).
@@ -382,11 +437,15 @@ pub fn table2_rows(mode: Mode, runner: &Runner) -> Vec<Table2Row> {
             .with_seed((t % keys) as u64)
     };
     let cells = runner.run_scenarios(spec_for, groups.len() * keys, |session, t| {
-        let (group, key) = (groups[t / keys], t % keys);
+        let (group, key) = (sizes[groups[t / keys]], t % keys);
         let mut rng = SmallRng::seed_from_u64(0x7b + key as u64);
         let nbits = if exp_bits == 0 { group } else { exp_bits };
         let b = Bignum::random_bits(&mut rng, nbits);
-        let cfg = SrpAttackConfig { noise: NoiseConfig::noisy(), ..SrpAttackConfig::new(group) };
+        let cfg = SrpAttackConfig {
+            noise: NoiseConfig::noisy(),
+            wait_jitter: tau_jitter,
+            ..SrpAttackConfig::new(group)
+        };
         let out = srp::single_trace_attack_in(session, &b, &cfg).expect("smc attack runs");
         session.renew(key as u64);
         (out.leakage, mastik_srp_leakage_on(session.machine(), group, &b))
@@ -395,27 +454,32 @@ pub fn table2_rows(mode: Mode, runner: &Runner) -> Vec<Table2Row> {
         .iter()
         .zip(cells.chunks(keys))
         .map(|(group, chunk)| Table2Row {
-            group_bits: *group,
+            group_bits: sizes[*group],
             smack: chunk.iter().map(|c| c.0).sum::<f64>() / keys as f64,
             mastik: chunk.iter().map(|c| c.1).sum::<f64>() / keys as f64,
         })
         .collect()
 }
 
-/// Table 2: SRP single-trace leakage, Prime+iStore vs Mastik.
-pub fn table2(mode: Mode) -> Vec<Table2Row> {
+/// Table 2: SRP single-trace leakage, Prime+iStore vs Mastik. One unit
+/// per group size; returns the rows for this shard's units.
+pub fn table2(ctx: &Ctx) -> Vec<Table2Row> {
+    let owned = ctx.units(smack_crypto::SrpGroup::PAPER_SIZES.len());
+    if owned.is_empty() {
+        return Vec::new();
+    }
     banner("Table 2 — SRP single-trace leakage per group size (Tiger Lake)");
-    let rows = table2_rows(mode, &Runner::from_env());
+    let rows = table2_rows_for(ctx.mode(), ctx.runner(), &owned, ctx.tau_jitter());
     let mut t = Table::new(&["group size", "Prime+iStore", "Mastik (PnP)"]);
-    for row in &rows {
-        t.row(vec![
+    for (unit, row) in owned.iter().zip(&rows) {
+        t.unit(*unit).row(vec![
             s(row.group_bits),
             f(row.smack * 100.0, 0) + "%",
             f(row.mastik * 100.0, 0) + "%",
         ]);
     }
     t.print();
-    t.write_csv("table2");
+    ctx.write_csv(&t, "table2");
     println!();
     println!(
         "paper shape: Prime+iStore leakage rises with group size (65->90%); \
@@ -430,12 +494,13 @@ pub fn table2(mode: Mode) -> Vec<Table2Row> {
 /// on the same [`smack_detection::dataset_units`] (identical workloads
 /// and seeds, so the dataset is identical).
 fn collect_detection_dataset(
+    runner: &Runner,
     arch: MicroArch,
     cfg: &smack_detection::DetectionConfig,
 ) -> (Vec<smack_detection::CounterDelta>, Vec<smack_detection::CounterDelta>) {
     let units = smack_detection::dataset_units();
     let spec_for = |i: usize| Scenario::new(arch).with_noise(cfg.noise).with_seed(units[i].seed());
-    let windows = Runner::from_env().run_scenarios(spec_for, units.len(), |session, i| {
+    let windows = runner.run_scenarios(spec_for, units.len(), |session, i| {
         smack_detection::collect_unit_on(session.machine(), units[i], cfg)
             .expect("dataset unit collects")
     });
@@ -477,9 +542,12 @@ fn mastik_srp_leakage_on(machine: &mut Machine, group_bits: usize, b: &Bignum) -
 }
 
 /// Figure 6: the SRP single-trace pattern timeline at group size 6144.
-pub fn fig6(mode: Mode) {
+pub fn fig6(ctx: &Ctx) {
+    if !ctx.owns(0) {
+        return;
+    }
     banner("Figure 6 — SRP single-trace window patterns (6144-bit group)");
-    let exp_bits = mode.pick(128, 6144);
+    let exp_bits = ctx.mode().pick(128, 6144);
     let mut rng = SmallRng::seed_from_u64(0xf6);
     let b = Bignum::random_bits(&mut rng, exp_bits);
     let cfg = SrpAttackConfig::new(6144);
@@ -511,7 +579,7 @@ pub fn fig6(mode: Mode) {
         ]);
     }
     t.print();
-    t.write_csv("fig6");
+    ctx.write_csv(&t, "fig6");
     println!();
     println!(
         "leakage {:.0}% of recoverable bits — the paper's seven patterns \
@@ -522,9 +590,11 @@ pub fn fig6(mode: Mode) {
 }
 
 /// Table 3: the ISpectre applicability matrix across all ten parts.
-pub fn table3(mode: Mode) -> Vec<(MicroArch, Vec<Applicability>)> {
+pub fn table3(ctx: &Ctx) -> Vec<(MicroArch, Vec<Applicability>)> {
+    if !ctx.owns(0) {
+        return Vec::new();
+    }
     banner("Table 3 — ISpectre applicability: microarchitecture x probe class");
-    let _ = mode;
     let mut header: Vec<&str> = vec!["probe"];
     let names: Vec<String> = MicroArch::ALL.iter().map(|a| a.name().to_owned()).collect();
     header.extend(names.iter().map(|n| n.as_str()));
@@ -534,7 +604,7 @@ pub fn table3(mode: Mode) -> Vec<(MicroArch, Vec<Applicability>)> {
     let spec_for = |i: usize| -> Scenario {
         Scenario::new(MicroArch::ALL[i]).with_noise(NoiseConfig::realistic()).with_seed(0x7ab3)
     };
-    let columns = Runner::from_env().run_scenarios(spec_for, MicroArch::ALL.len(), |session, _| {
+    let columns = ctx.runner().run_scenarios(spec_for, MicroArch::ALL.len(), |session, _| {
         ProbeKind::ALL
             .iter()
             .map(|kind| {
@@ -553,7 +623,7 @@ pub fn table3(mode: Mode) -> Vec<(MicroArch, Vec<Applicability>)> {
         t.row(row);
     }
     t.print();
-    t.write_csv("table3");
+    ctx.write_csv(&t, "table3");
     println!();
     println!(
         "legend: ● SMC-powered leak, ◐ leaks without SMC, # no leak, × \
@@ -577,12 +647,9 @@ pub struct Table4Row {
     pub success: f64,
 }
 
-/// Table 4: ISpectre leakage rates on Cascade Lake and Ryzen 5.
-pub fn table4(mode: Mode) -> Vec<Table4Row> {
-    banner("Table 4 — ISpectre leakage rates (B/s)");
-    let secret_len = mode.pick(8, 64);
-    let secret: Vec<u8> =
-        (0..secret_len).map(|i| (i as u8).wrapping_mul(73).wrapping_add(19)).collect();
+/// Table 4: ISpectre leakage rates on Cascade Lake and Ryzen 5. One unit
+/// per (processor, probe) cell; returns this shard's applicable rows.
+pub fn table4(ctx: &Ctx) -> Vec<Table4Row> {
     let kinds = [
         ProbeKind::Flush,
         ProbeKind::FlushOpt,
@@ -592,21 +659,31 @@ pub fn table4(mode: Mode) -> Vec<Table4Row> {
         ProbeKind::Clwb,
     ];
     let arches = [MicroArch::CascadeLake, MicroArch::AmdRyzen5];
-    // One trial per (processor, probe) cell.
+    debug_assert_eq!(TABLE4_CELLS, arches.len() * kinds.len());
+    let owned = ctx.units(TABLE4_CELLS);
+    if owned.is_empty() {
+        return Vec::new();
+    }
+    banner("Table 4 — ISpectre leakage rates (B/s)");
+    let secret_len = ctx.mode().pick(8, 64);
+    let secret: Vec<u8> =
+        (0..secret_len).map(|i| (i as u8).wrapping_mul(73).wrapping_add(19)).collect();
+    // One trial per owned (processor, probe) cell.
     let spec_for = |t: usize| -> Scenario {
-        Scenario::new(arches[t / kinds.len()])
+        Scenario::new(arches[owned[t] / kinds.len()])
             .with_noise(NoiseConfig::realistic())
             .with_seed(0x7ab4)
     };
-    let cells =
-        Runner::from_env().run_scenarios(spec_for, arches.len() * kinds.len(), |session, t| {
-            let (arch, kind) = (arches[t / kinds.len()], kinds[t % kinds.len()]);
-            let cfg = ISpectreConfig::new(kind);
-            (arch, kind, leak_secret_in(session, &secret, &cfg))
-        });
+    let cells = ctx.runner().run_scenarios(spec_for, owned.len(), |session, t| {
+        let cell = owned[t];
+        let (arch, kind) = (arches[cell / kinds.len()], kinds[cell % kinds.len()]);
+        let cfg = ISpectreConfig::new(kind);
+        (arch, kind, leak_secret_in(session, &secret, &cfg))
+    });
     let mut rows = Vec::new();
     let mut t = Table::new(&["processor", "probe", "B/s", "success (%)"]);
-    for (arch, kind, outcome) in cells {
+    for (unit, (arch, kind, outcome)) in owned.iter().zip(cells) {
+        t.unit(*unit);
         match outcome {
             Ok(r) if r.success_rate >= 0.5 => {
                 t.row(vec![s(arch), s(kind), f(r.bytes_per_s, 0), f(r.success_rate * 100.0, 1)]);
@@ -623,7 +700,7 @@ pub fn table4(mode: Mode) -> Vec<Table4Row> {
         }
     }
     t.print();
-    t.write_csv("table4");
+    ctx.write_csv(&t, "table4");
     println!();
     println!(
         "paper shape: thousands of bytes per second with high success; \
@@ -633,14 +710,17 @@ pub fn table4(mode: Mode) -> Vec<Table4Row> {
 }
 
 /// §6.1 detection: accuracy/F1/FPR per counter feature set.
-pub fn table5(mode: Mode) -> Vec<smack_detection::DetectionReport> {
+pub fn table5(ctx: &Ctx) -> Vec<smack_detection::DetectionReport> {
+    if !ctx.owns(0) {
+        return Vec::new();
+    }
     banner("Section 6.1 — counter-based detection of SMC attacks (Cascade Lake)");
     let cfg = smack_detection::DetectionConfig {
-        window_cycles: mode.pick(80_000, 200_000) as u64,
-        windows_per_run: mode.pick(6, 14),
+        window_cycles: ctx.mode().pick(80_000, 200_000) as u64,
+        windows_per_run: ctx.mode().pick(6, 14),
         noise: NoiseConfig::realistic(),
     };
-    let (benign, attacks) = collect_detection_dataset(MicroArch::CascadeLake, &cfg);
+    let (benign, attacks) = collect_detection_dataset(ctx.runner(), MicroArch::CascadeLake, &cfg);
     let mut t = Table::new(&["feature set", "accuracy", "F1", "FPR"]);
     let mut out = Vec::new();
     for fs in smack_detection::FeatureSet::ALL {
@@ -649,7 +729,7 @@ pub fn table5(mode: Mode) -> Vec<smack_detection::DetectionReport> {
         out.push(r);
     }
     t.print();
-    t.write_csv("table5");
+    ctx.write_csv(&t, "table5");
     println!();
     println!(
         "paper shape: machine_clears.smc detects the attacks almost perfectly \
@@ -658,4 +738,40 @@ pub fn table5(mode: Mode) -> Vec<smack_detection::DetectionReport> {
          work are much weaker."
     );
     out
+}
+
+/// Case Study II steps 1–2 (paper §5.2): identify the victim's crypto
+/// library version from L1i-set activity fingerprints, and locate the
+/// multiplication set.
+pub fn fingerprint(ctx: &Ctx) {
+    if !ctx.owns(0) {
+        return;
+    }
+    banner("Case Study II step 1 — library version fingerprinting (Tiger Lake)");
+    let full = corpus();
+    let versions: Vec<_> = match ctx.mode() {
+        Mode::Quick => full.iter().cloned().step_by(4).collect(), // 9 versions
+        Mode::Full => full.clone(),
+    };
+    let cfg = SweepConfig::default();
+    let report = library_id_experiment(
+        MicroArch::TigerLake,
+        &versions,
+        ctx.mode().pick(5, 8),
+        ctx.mode().pick(1, 2),
+        &cfg,
+    )
+    .expect("experiment runs");
+    let mut t = Table::new(&["metric", "measured", "paper"]);
+    t.row(vec![s("versions classified"), s(report.versions), s("34 (20 OpenSSL + 14 Libgcrypt)")]);
+    t.row(vec![s("offline cross-validation accuracy"), f(report.cv_accuracy, 3), s("1.00")]);
+    t.row(vec![s("online identification accuracy"), f(report.online_accuracy, 3), s("0.97")]);
+
+    banner("Case Study II step 2 — multiplication-set detection");
+    let acc = mul_set_detection_accuracy(MicroArch::TigerLake, ctx.mode().pick(8, 24), &cfg)
+        .expect("experiment runs");
+    println!("binary kNN accuracy: {acc:.3}   (paper: 0.96)");
+    t.row(vec![s("mul-set detection accuracy"), f(acc, 3), s("0.96")]);
+    t.print();
+    ctx.write_csv(&t, "fingerprint");
 }

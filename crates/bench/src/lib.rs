@@ -4,6 +4,12 @@
 //! SMaCk paper's evaluation, printing the same rows/series the paper
 //! reports and writing CSVs under `target/repro/`.
 //!
+//! Every experiment is a descriptor in the declarative
+//! [`registry`](crate::registry): name, title, CSV schema, shardable
+//! *unit* count, and a run function over a [`registry::Ctx`]. One shared
+//! CLI ([`cli`]) looks experiments up by name; the fourteen binaries are
+//! thin shims differing only in their default selection:
+//!
 //! | Binary | Paper artifact |
 //! |---|---|
 //! | `fig1` | Figure 1 — probe timing per cache state (+ Mastik row) |
@@ -17,15 +23,20 @@
 //! | `table3` | Table 3 — ISpectre applicability matrix |
 //! | `table4` | Table 4 — ISpectre leakage rates (B/s) |
 //! | `table5` | §6.1 — detection accuracy / F-score / FPR |
-//! | `all` | everything above in sequence |
+//! | `fingerprint` | Case Study II — library fingerprinting |
+//! | `ablations` | every ablation study |
+//! | `all` | the eleven paper artifacts in sequence |
 //!
-//! Every harness accepts `--full` for paper-scale sample counts (the
-//! default is a quick mode sized for CI) and `--threads N` to set the
-//! trial-runner worker count without environment plumbing (mirroring —
-//! and taking precedence over — `SMACK_BENCH_THREADS`).
+//! Every binary accepts `--full` (paper-scale sample counts), `--threads
+//! N` (trial-runner workers), `--shard K/N` (run this slice of the unit
+//! space, emitting mergeable unit-tagged CSVs), `--shards N` (spawn one
+//! process per shard and merge, bit-identical to the unsharded run),
+//! `--out DIR`, `--tau-jitter N` and `--list` — see [`cli`].
 
 pub mod ablations;
+pub mod cli;
 pub mod experiments;
+pub mod registry;
 pub mod report;
 pub mod runner;
 
@@ -39,62 +50,11 @@ pub enum Mode {
 }
 
 impl Mode {
-    /// Parse the harness CLI from the process args: `--full` selects
-    /// [`Mode::Full`], and `--threads N` (or `--threads=N`) sets the
-    /// trial-runner worker count for the whole process (the CLI mirror of
-    /// `SMACK_BENCH_THREADS`; the flag wins when both are given).
-    pub fn from_args() -> Mode {
-        let args: Vec<String> = std::env::args().collect();
-        if let Some(threads) = parse_threads(&args) {
-            runner::set_thread_override(threads);
-        }
-        if args.iter().any(|a| a == "--full") {
-            Mode::Full
-        } else {
-            Mode::Quick
-        }
-    }
-
     /// Pick a size by mode.
     pub fn pick(self, quick: usize, full: usize) -> usize {
         match self {
             Mode::Quick => quick,
             Mode::Full => full,
         }
-    }
-}
-
-/// Extract the worker count from `--threads N` / `--threads=N`, if given
-/// and valid (zero and unparsable values are ignored).
-fn parse_threads(args: &[String]) -> Option<usize> {
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        let value = if a == "--threads" {
-            it.next().cloned()
-        } else {
-            a.strip_prefix("--threads=").map(str::to_owned)
-        };
-        if let Some(n) = value.and_then(|v| v.parse::<usize>().ok()).filter(|n| *n > 0) {
-            return Some(n);
-        }
-    }
-    None
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn strings(args: &[&str]) -> Vec<String> {
-        args.iter().map(|a| (*a).to_owned()).collect()
-    }
-
-    #[test]
-    fn threads_flag_parses_both_spellings() {
-        assert_eq!(parse_threads(&strings(&["bin", "--threads", "4"])), Some(4));
-        assert_eq!(parse_threads(&strings(&["bin", "--threads=8", "--full"])), Some(8));
-        assert_eq!(parse_threads(&strings(&["bin", "--full"])), None);
-        assert_eq!(parse_threads(&strings(&["bin", "--threads", "zero"])), None);
-        assert_eq!(parse_threads(&strings(&["bin", "--threads", "0"])), None);
     }
 }

@@ -38,6 +38,29 @@ pub fn probe_sequence(kind: ProbeKind) -> Vec<Instr> {
     ]
 }
 
+/// τ_w exposure-window jitter: the per-trace prime→probe wait derived
+/// from a base wait, a jitter amplitude, and the trace seed.
+///
+/// The remaining RSA/SRP recovery gap is *systematic* decode error: when
+/// every trace samples the victim with the identical exposure window, the
+/// same multiply events fall through the same cracks in every trace, and
+/// no amount of majority voting can recover them. Jittering τ_w per trace
+/// moves the sampling phase so those misses decorrelate across traces.
+/// The draw is a pure function of `seed` (splitmix64), so parallel and
+/// sharded runs see the same wait for the same trace, and `jitter == 0`
+/// is the exact identity.
+pub fn jittered_wait(base: u64, jitter: u64, seed: u64) -> u64 {
+    if jitter == 0 {
+        return base;
+    }
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let offset = (z % (2 * jitter + 1)) as i64 - jitter as i64;
+    base.saturating_add_signed(offset).max(1)
+}
+
 /// A probe measurement.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct ProbeTiming {
@@ -142,6 +165,22 @@ mod tests {
         a.nop().nop().ret();
         m.load_program(&a.assemble().unwrap());
         (m, Addr(0x1_0000))
+    }
+
+    #[test]
+    fn jittered_wait_is_deterministic_bounded_and_identity_at_zero() {
+        for seed in 0..200u64 {
+            assert_eq!(jittered_wait(700, 0, seed), 700, "zero jitter is the identity");
+            let w = jittered_wait(700, 50, seed);
+            assert_eq!(w, jittered_wait(700, 50, seed), "pure function of the seed");
+            assert!((650..=750).contains(&w), "seed {seed}: wait {w} out of band");
+        }
+        // Different seeds actually move the window.
+        let distinct: std::collections::HashSet<u64> =
+            (0..200u64).map(|s| jittered_wait(700, 50, s)).collect();
+        assert!(distinct.len() > 20, "jitter spreads: {} distinct waits", distinct.len());
+        // The wait never collapses to zero.
+        assert!(jittered_wait(1, 100, 3) >= 1);
     }
 
     #[test]

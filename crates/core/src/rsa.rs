@@ -38,6 +38,13 @@ pub struct RsaAttackConfig {
     pub kind: ProbeKind,
     /// Wait between prime and probe (the paper's ~700-iteration loop).
     pub wait_cycles: u64,
+    /// τ_w jitter amplitude: each trace waits
+    /// `wait_cycles ± wait_jitter` cycles, drawn deterministically from
+    /// the trace seed (see [`crate::probe::jittered_wait`]). Zero (the
+    /// default) keeps the historical fixed exposure window; nonzero
+    /// decorrelates systematic decode misses across traces so majority
+    /// voting can outvote them.
+    pub wait_jitter: u64,
     /// How many LRU-first ways to probe per round (probing fewer ways
     /// shortens the sample period; LRU replacement makes the first primed
     /// ways the eviction victims).
@@ -54,6 +61,7 @@ impl RsaAttackConfig {
         RsaAttackConfig {
             kind,
             wait_cycles: 100,
+            wait_jitter: 0,
             probe_ways: 1,
             noise: NoiseConfig::realistic(),
             operand_bits: 2048,
@@ -158,6 +166,7 @@ pub fn collect_trace_on(
             .map_err(|e| e.to_string())?,
     };
     let mut prober = Prober::new(ATTACKER);
+    let wait_cycles = crate::probe::jittered_wait(cfg.wait_cycles, cfg.wait_jitter, seed);
 
     // Stagger the attacker's phase: on real hardware consecutive traces
     // never align with the victim identically, and the decoder's rounding
@@ -170,7 +179,7 @@ pub fn collect_trace_on(
     while m.state(VICTIM) == smack_uarch::ThreadState::Running && samples.len() < max_samples {
         let at = m.clock(ATTACKER);
         ev.prime(m, &mut prober).map_err(|e| e.to_string())?;
-        prober.wait(m, cfg.wait_cycles).map_err(|e| e.to_string())?;
+        prober.wait(m, wait_cycles).map_err(|e| e.to_string())?;
         let timings =
             ev.probe_first(m, &mut prober, cfg.kind, cfg.probe_ways).map_err(|e| e.to_string())?;
         let active = timings.iter().any(|t| !cal.is_hit(*t));
@@ -375,6 +384,7 @@ mod tests {
         RsaAttackConfig {
             kind,
             wait_cycles: 100,
+            wait_jitter: 0,
             probe_ways: 1,
             noise: NoiseConfig::quiet(),
             operand_bits: 2048,

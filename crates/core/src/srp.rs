@@ -37,6 +37,11 @@ pub struct SrpAttackConfig {
     pub kind: ProbeKind,
     /// Wait between prime and probe.
     pub wait_cycles: u64,
+    /// τ_w jitter amplitude: the trace waits `wait_cycles ± wait_jitter`
+    /// cycles, drawn deterministically from the machine seed (see
+    /// [`crate::probe::jittered_wait`]). Zero keeps the historical fixed
+    /// exposure window.
+    pub wait_jitter: u64,
     /// How many LRU-first ways to probe per round.
     pub probe_ways: usize,
     /// Noise model.
@@ -58,6 +63,7 @@ impl SrpAttackConfig {
         SrpAttackConfig {
             kind: ProbeKind::Store,
             wait_cycles,
+            wait_jitter: 0,
             probe_ways: 1,
             noise: NoiseConfig::realistic(),
             group_bits,
@@ -115,7 +121,7 @@ pub fn smc_sampler(
     victim: &ModexpVictim,
     cfg: &SrpAttackConfig,
 ) -> Result<impl FnMut(&mut Machine) -> Result<bool, String>, String> {
-    smc_sampler_inner(machine, victim, cfg, None)
+    smc_sampler_inner(machine, victim, cfg, None, 0)
 }
 
 fn smc_sampler_inner(
@@ -123,6 +129,7 @@ fn smc_sampler_inner(
     victim: &ModexpVictim,
     cfg: &SrpAttackConfig,
     cal_override: Option<CalibratedProbe>,
+    seed: u64,
 ) -> Result<impl FnMut(&mut Machine) -> Result<bool, String>, String> {
     machine.set_noise(cfg.noise);
     machine.load_program(&victim.program);
@@ -137,7 +144,7 @@ fn smc_sampler_inner(
             .map_err(|e| e.to_string())?,
     };
     let kind = cfg.kind;
-    let wait = cfg.wait_cycles;
+    let wait = crate::probe::jittered_wait(cfg.wait_cycles, cfg.wait_jitter, seed);
     let ways = cfg.probe_ways;
     let mut prober = Prober::new(ATTACKER);
     Ok(move |m: &mut Machine| -> Result<bool, String> {
@@ -290,7 +297,7 @@ pub fn single_trace_attack(
     seed: u64,
 ) -> Result<SrpAttackOutcome, String> {
     let mut machine = Machine::with_noise(arch.profile(), cfg.noise, seed);
-    single_trace_attack_on(&mut machine, b, cfg, None)
+    single_trace_attack_on(&mut machine, b, cfg, None, seed)
 }
 
 /// Run the full single-trace attack inside a [`Session`]: the machine
@@ -309,7 +316,8 @@ pub fn single_trace_attack_in(
     session.require_noise(cfg.noise)?;
     let cal =
         session.calibrated(cfg.kind, smack_uarch::Placement::L2).map_err(|e| e.to_string())?;
-    single_trace_attack_on(session.machine(), b, cfg, Some(cal))
+    let seed = session.scenario().seed();
+    single_trace_attack_on(session.machine(), b, cfg, Some(cal), seed)
 }
 
 fn single_trace_attack_on(
@@ -317,9 +325,10 @@ fn single_trace_attack_on(
     b: &Bignum,
     cfg: &SrpAttackConfig,
     cal_override: Option<CalibratedProbe>,
+    seed: u64,
 ) -> Result<SrpAttackOutcome, String> {
     let victim = build_victim(cfg.group_bits, b.bit_len());
-    let sampler = smc_sampler_inner(machine, &victim, cfg, cal_override)?;
+    let sampler = smc_sampler_inner(machine, &victim, cfg, cal_override, seed)?;
     let max_samples = cfg.group_bits * 60 + 10_000;
     let samples = collect_events(machine, &victim, b, sampler, max_samples)?;
     let events = event_times(&samples);

@@ -84,6 +84,35 @@ impl DecodedProgram {
         DecodedProgram { instrs, by_pc }
     }
 
+    /// Re-decode one instruction in place after a self-modifying
+    /// write-back. Succeeds when `pc` is already decoded and the new
+    /// instruction keeps the old encoded length (the common SMC pattern:
+    /// a line's bytes are rewritten but instruction boundaries survive) —
+    /// the entry's operation and static branch target are refreshed while
+    /// every index in the table, including successor links held by other
+    /// entries and any `pc → index` values cached by the engine's
+    /// threads, stays valid. Returns `false` when the patch would move
+    /// instruction boundaries (an unmapped `pc`, or a different length);
+    /// the caller must then recompile the whole table.
+    pub fn patch(&mut self, pc: u64, instr: Instr) -> bool {
+        let Some(&idx) = self.by_pc.get(&pc) else {
+            return false;
+        };
+        let target = match instr {
+            Instr::Jmp { target } | Instr::Jcc { target, .. } | Instr::Call { target } => {
+                self.by_pc.get(&target).copied().unwrap_or(NO_IDX)
+            }
+            _ => NO_IDX,
+        };
+        let d = &mut self.instrs[idx as usize];
+        if d.len != instr.len() {
+            return false;
+        }
+        d.instr = instr;
+        d.target = target;
+        true
+    }
+
     /// Drop the compiled table (machine reset).
     pub fn clear(&mut self) {
         self.instrs.clear();
@@ -183,6 +212,40 @@ mod tests {
         a.jmp(0x9999u64).halt();
         let d = DecodedProgram::compile(&a.assemble().unwrap());
         assert_eq!(d.get(0).target, NO_IDX, "target outside the program");
+    }
+
+    #[test]
+    fn patch_rewrites_in_place_when_lengths_match() {
+        let p = looped();
+        let mut d = DecodedProgram::compile(&p);
+        let jne_idx = (0..d.len() as u32)
+            .find(|i| matches!(d.get(*i).instr, Instr::Jcc { .. }))
+            .expect("program has a jcc");
+        let pc = d.get(jne_idx).pc;
+        let old_fall = d.get(jne_idx).fall;
+        // Retarget the branch at its own pc: same length, new static target.
+        let new_target = d.get(0).pc;
+        let patched = Instr::Jcc { cond: crate::isa::Cond::Eq, target: new_target };
+        assert!(d.patch(pc, patched));
+        let e = d.get(jne_idx);
+        assert_eq!(e.instr, patched);
+        assert_eq!(d.get(e.target).pc, new_target, "target re-resolved");
+        assert_eq!(e.fall, old_fall, "fall-through index survives");
+    }
+
+    #[test]
+    fn patch_refuses_boundary_changes() {
+        let p = looped();
+        let mut d = DecodedProgram::compile(&p);
+        // Unmapped pc: nothing to patch in place.
+        assert!(!d.patch(0xdead_0000, Instr::Nop));
+        // Length change (add_imm is 5 bytes, nop is 1): boundaries move.
+        let add_pc = (0..d.len() as u32)
+            .map(|i| *d.get(i))
+            .find(|e| matches!(e.instr, Instr::AddImm { .. }))
+            .expect("program has an add_imm")
+            .pc;
+        assert!(!d.patch(add_pc, Instr::Nop));
     }
 
     #[test]

@@ -338,6 +338,32 @@ impl Engine {
         }
     }
 
+    /// Apply a self-modifying write-back: overwrite instructions in the
+    /// core's address space with `prog`'s (replacing on conflict, unlike
+    /// [`Engine::load`]'s merge-only semantics) and re-decode the affected
+    /// entries of the decoded side table **in place** whenever instruction
+    /// boundaries survive the rewrite — the patched pcs keep their
+    /// indices, so every successor link and cached `pc_idx` stays valid
+    /// and the steady-state step loop keeps chasing indices instead of
+    /// degrading to per-step map lookups. A write-back that moves
+    /// boundaries (instructions at new pcs, or changed encoded lengths)
+    /// falls back to one full recompile.
+    ///
+    /// Architectural state only, like [`Engine::load`]: the *timing* side
+    /// of a real SMC write-back (machine clear, L1i invalidation, sibling
+    /// stall) is modeled by the store/flush instructions the workload
+    /// executes against the line.
+    pub fn patch_code(&mut self, prog: &Program) {
+        self.code.overwrite(prog);
+        let in_place = prog.iter().all(|(pc, instr)| self.decoded.patch(pc, *instr));
+        if !in_place {
+            self.decoded = DecodedProgram::compile(&self.code);
+            for t in &mut self.threads {
+                t.pc_idx = NO_IDX;
+            }
+        }
+    }
+
     /// Switch between the decoded fast path (the default) and the original
     /// `BTreeMap` reference interpreter. Both execute the identical `exec`
     /// body and produce bit-identical architectural state, clocks and

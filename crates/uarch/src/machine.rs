@@ -156,6 +156,15 @@ impl Machine {
         self.engine.load(prog);
     }
 
+    /// Apply a self-modifying write-back: overwrite already-loaded
+    /// instructions with `prog`'s, re-decoding the rewritten entries into
+    /// the decoded side table in place (see [`Engine::patch_code`]). Use
+    /// this instead of [`Machine::load_program`] when the new code
+    /// *replaces* instructions at addresses that are already mapped.
+    pub fn patch_program(&mut self, prog: &Program) {
+        self.engine.patch_code(prog);
+    }
+
     /// Write bytes to simulated memory (no timing effects).
     pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
         self.engine.mem_mut().write_bytes(addr, bytes);
@@ -557,6 +566,33 @@ mod tests {
             "victim must slow down: baseline {baseline}, attacked {attacked}"
         );
         assert!(m.counters(T0).read(PerfEvent::MachineClearsSmc) > 10);
+    }
+
+    #[test]
+    fn patched_code_executes_on_the_fast_path() {
+        // A counting loop calls a routine that adds 1; mid-run the routine
+        // is rewritten (same instruction length) to add 10. The decoded
+        // fast path must pick the patch up exactly like the reference
+        // interpreter (which re-reads the map every step).
+        let routine = |imm: i64| -> Program {
+            let mut a = Assembler::new(0x7_0000);
+            a.add_imm(Reg::R0, imm).ret();
+            a.assemble().unwrap()
+        };
+        let run = |decoded: bool| -> u64 {
+            let mut m = cl();
+            m.set_decoded_fast_path(decoded);
+            m.load_program(&routine(1));
+            for i in 0..6 {
+                if i == 3 {
+                    m.patch_program(&routine(10));
+                }
+                m.call(T0, 0x7_0000, &[]).unwrap();
+            }
+            m.reg(T0, Reg::R0)
+        };
+        assert_eq!(run(true), 3 + 30);
+        assert_eq!(run(false), 3 + 30);
     }
 
     #[test]

@@ -161,6 +161,47 @@ fn run(prog: &Program, decoded: bool, burst: u64) -> Outcome {
     }
 }
 
+/// A runtime rewrite of the helper routine's code line: the same-length
+/// variant swaps `add` for `xor` (instruction boundaries survive, so the
+/// engine re-decodes the entries in place); the extending variant also
+/// places a fresh routine at new addresses, forcing the full-recompile
+/// fallback.
+fn helper_patch(extend: bool) -> Program {
+    let mut a = Assembler::new(HELPER_BASE);
+    a.label("helper").xor(Reg::R0, Reg::R1).nop().ret();
+    if extend {
+        a.org(HELPER_BASE + 0x40).label("helper2").add_imm(Reg::R0, 5).ret();
+    }
+    a.assemble().expect("patch assembles")
+}
+
+/// Run `prog`, apply `patch` after `at_step` engine steps (mid-run
+/// self-modification), and run to completion.
+fn run_with_patch(
+    prog: &Program,
+    patch: &Program,
+    at_step: u64,
+    decoded: bool,
+    burst: u64,
+) -> Outcome {
+    let mut m = Machine::new(MicroArch::CascadeLake.profile());
+    m.set_decoded_fast_path(decoded);
+    m.set_burst_steps(burst);
+    m.load_program(prog);
+    m.start_program(T0, prog.entry(), &[]);
+    m.run_burst(T0, at_step).expect("prefix runs");
+    m.patch_program(patch);
+    m.run_until_halt(T0, 1_000_000).expect("program halts");
+    Outcome {
+        regs: (0..Reg::COUNT).map(|i| m.reg(T0, Reg::from_index(i))).collect(),
+        clock_t0: m.clock(T0),
+        clock_t1: m.clock(T1),
+        counters_t0: m.counters(T0).snapshot(),
+        counters_t1: m.counters(T1).snapshot(),
+        data: m.read_bytes(smack_uarch::Addr(DATA_BASE), 16 * 8),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -177,6 +218,32 @@ proptest! {
                 &got,
                 &reference,
                 "decoded={} burst={} diverged",
+                decoded,
+                burst
+            );
+        }
+    }
+
+    /// Self-modified code lines re-decode into the side table: rewriting
+    /// the helper routine mid-run (same-length in-place patch, and the
+    /// boundary-moving variant that forces a recompile) must leave the
+    /// decoded fast path bit-identical to the map-lookup reference, for
+    /// every burst size.
+    #[test]
+    fn prop_rewritten_code_lines_match_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        extend in any::<bool>(),
+        at_step in 1u64..150,
+    ) {
+        let prog = build_program(&ops);
+        let patch = helper_patch(extend);
+        let reference = run_with_patch(&prog, &patch, at_step, false, 4096);
+        for (decoded, burst) in [(true, 4096), (true, 1), (true, 7)] {
+            let got = run_with_patch(&prog, &patch, at_step, decoded, burst);
+            prop_assert_eq!(
+                &got,
+                &reference,
+                "decoded={} burst={} diverged after rewrite",
                 decoded,
                 burst
             );
