@@ -3,10 +3,13 @@
 //! Every SMaCk experiment is millions of `Engine::step` calls, so the
 //! steady-state cost of one simulated instruction bounds every campaign.
 //! This benchmark times victim-shaped loop programs (straight-line ALU
-//! bodies closed by a backward branch, like `mul_n`) under the decoded
-//! fast path and under the original per-step `BTreeMap` reference
-//! interpreter (`Machine::set_decoded_fast_path(false)`), plus a full
-//! covert-channel trial to translate instructions/sec into trials/sec.
+//! bodies closed by a backward branch, like `mul_n`) under the three
+//! interpreter tiers — superblock execution (the default), the per-step
+//! decoded fast path (`Machine::set_superblocks(false)`), and the
+//! original per-step `BTreeMap` reference interpreter
+//! (`Machine::set_decoded_fast_path(false)`) — plus a full covert-channel
+//! trial to translate instructions/sec into trials/sec, and one quick
+//! repro (`all`) wall-time sample when the binary is available.
 //!
 //! Results go to stdout and to `BENCH_engine.json` at the workspace root
 //! (CI uploads it as an artifact). `SMACK_BENCH_QUICK=1` cuts the
@@ -45,11 +48,26 @@ fn loop_program(body: usize, iters: u64) -> (smack_uarch::asm::Program, u64) {
     (a.assemble().expect("loop program assembles"), (body as u64 + 3) * iters)
 }
 
-/// One timed run of `steps` instructions of `prog` on a fresh machine,
-/// with the decoded fast path on or off.
-fn one_run(prog: &smack_uarch::asm::Program, steps: u64, decoded: bool) -> f64 {
+/// The three interpreter tiers, fastest first.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Tier {
+    /// Decoded fast path + superblock batched retirement (the default).
+    Superblock,
+    /// Decoded fast path, per-step retirement.
+    Decoded,
+    /// Original per-step `BTreeMap` reference interpreter.
+    Reference,
+}
+
+/// One timed run of `steps` instructions of `prog` on a fresh machine
+/// under the given interpreter tier.
+fn one_run(prog: &smack_uarch::asm::Program, steps: u64, tier: Tier) -> f64 {
     let mut m = Machine::new(MicroArch::CascadeLake.profile());
-    m.set_decoded_fast_path(decoded);
+    match tier {
+        Tier::Superblock => m.set_superblocks(true),
+        Tier::Decoded => m.set_superblocks(false),
+        Tier::Reference => m.set_decoded_fast_path(false),
+    }
     m.load_program(prog);
     m.start_program(ThreadId::T0, prog.entry(), &[]);
     let t = Instant::now();
@@ -57,17 +75,18 @@ fn one_run(prog: &smack_uarch::asm::Program, steps: u64, decoded: bool) -> f64 {
     t.elapsed().as_secs_f64()
 }
 
-/// Best-of-`reps` wall time for the decoded and reference interpreters,
-/// interleaved (decoded, reference, decoded, …) so transient system load
-/// biases both paths equally and the speedup ratio stays stable even on a
-/// busy host.
-fn time_interpreters(prog: &smack_uarch::asm::Program, steps: u64, reps: usize) -> (f64, f64) {
-    let (mut fast, mut refr) = (f64::MAX, f64::MAX);
+/// Best-of-`reps` wall time for the three interpreter tiers, interleaved
+/// (superblock, decoded, reference, superblock, …) so transient system
+/// load biases every tier equally and the speedup ratios stay stable even
+/// on a busy host.
+fn time_interpreters(prog: &smack_uarch::asm::Program, steps: u64, reps: usize) -> (f64, f64, f64) {
+    let (mut sb, mut fast, mut refr) = (f64::MAX, f64::MAX, f64::MAX);
     for _ in 0..reps {
-        fast = fast.min(one_run(prog, steps, true));
-        refr = refr.min(one_run(prog, steps, false));
+        sb = sb.min(one_run(prog, steps, Tier::Superblock));
+        fast = fast.min(one_run(prog, steps, Tier::Decoded));
+        refr = refr.min(one_run(prog, steps, Tier::Reference));
     }
-    (fast, refr)
+    (sb, fast, refr)
 }
 
 /// Best-of-`reps` wall time for one pooled covert-channel trial
@@ -90,6 +109,29 @@ fn time_trial(sessions: &Sessions, bits: usize, reps: usize) -> f64 {
     best
 }
 
+/// Time one quick repro (`all` into a temp dir), returning wall
+/// milliseconds, or `None` when the release binary is missing. A separate
+/// process keeps the measurement honest: it includes process start-up,
+/// calibration-cache misses, and CSV writing, exactly like CI.
+fn time_quick_all() -> Option<f64> {
+    let bin = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/release/all");
+    if !bin.exists() {
+        return None;
+    }
+    let out = std::env::temp_dir().join(format!("smack-bench-all-{}", std::process::id()));
+    let t = Instant::now();
+    let status = std::process::Command::new(&bin)
+        .arg("--out")
+        .arg(&out)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .ok()?;
+    let elapsed = t.elapsed().as_secs_f64() * 1e3;
+    let _ = std::fs::remove_dir_all(&out);
+    status.success().then_some(elapsed)
+}
+
 fn main() {
     let quick = std::env::var("SMACK_BENCH_QUICK").is_ok_and(|v| v == "1");
     let reps = if quick { 3 } else { 9 };
@@ -102,16 +144,19 @@ fn main() {
     let mut rows = Vec::new();
     for (body, iters) in sizes {
         let (prog, steps) = loop_program(body, iters);
-        let (fast, refr) = time_interpreters(&prog, steps, reps);
+        let (sb, fast, refr) = time_interpreters(&prog, steps, reps);
+        let sb_ips = steps as f64 / sb;
         let fast_ips = steps as f64 / fast;
         let ref_ips = steps as f64 / refr;
         println!(
-            "  body={body:<5} decoded {:>6.2} ns ({fast_ips:.3e}/s)   reference {:>6.2} ns ({ref_ips:.3e}/s)   speedup {:.2}x",
+            "  body={body:<5} superblock {:>6.2} ns ({sb_ips:.3e}/s)   decoded {:>6.2} ns ({fast_ips:.3e}/s)   reference {:>6.2} ns ({ref_ips:.3e}/s)   speedup {:.2}x/{:.2}x",
+            sb / steps as f64 * 1e9,
             fast / steps as f64 * 1e9,
             refr / steps as f64 * 1e9,
-            fast_ips / ref_ips,
+            sb_ips / fast_ips,
+            sb_ips / ref_ips,
         );
-        rows.push((body, fast_ips, ref_ips));
+        rows.push((body, sb_ips, fast_ips, ref_ips));
     }
 
     let sessions = Sessions::new();
@@ -123,20 +168,35 @@ fn main() {
         trial * 1e3
     );
 
+    // One quick repro wall-time sample: the end-to-end number the
+    // superblock work is meant to move. Skipped (null) when the repro
+    // binary has not been built.
+    let quick_all_ms = time_quick_all();
+    match quick_all_ms {
+        Some(ms) => println!("engine/quick-all: {ms:.1} ms"),
+        None => println!("engine/quick-all: skipped (release `all` binary not found)"),
+    }
+
     // Headline steady-state numbers: the victim-scale (1200-instr body)
     // program, the size class the modexp victims live in.
-    let (_, fast_ips, ref_ips) = rows[1];
+    let (_, sb_ips, fast_ips, ref_ips) = rows[1];
     let json = format!(
         "{{\n  \"bench\": \"engine\",\n  \"arch\": \"CascadeLake\",\n  \"quick\": {quick},\n  \
+         \"superblock_instrs_per_sec\": {sb_ips:.0},\n  \
          \"decoded_instrs_per_sec\": {fast_ips:.0},\n  \
          \"reference_instrs_per_sec\": {ref_ips:.0},\n  \
+         \"superblock_speedup\": {:.2},\n  \
          \"speedup\": {:.2},\n  \
+         \"quick_all_wall_ms\": {},\n  \
          \"trials_per_sec\": {trials_per_sec:.1},\n  \
          \"trial_payload_bits\": {bits},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        sb_ips / fast_ips,
         fast_ips / ref_ips,
+        quick_all_ms.map_or("null".to_string(), |ms| format!("{ms:.1}")),
         rows.iter()
-            .map(|(body, f, r)| format!(
-                "    {{ \"body_instrs\": {body}, \"decoded_instrs_per_sec\": {f:.0}, \
+            .map(|(body, s, f, r)| format!(
+                "    {{ \"body_instrs\": {body}, \"superblock_instrs_per_sec\": {s:.0}, \
+                 \"decoded_instrs_per_sec\": {f:.0}, \
                  \"reference_instrs_per_sec\": {r:.0} }}"
             ))
             .collect::<Vec<_>>()

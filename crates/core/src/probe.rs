@@ -13,29 +13,60 @@ const ADDR_REG: Reg = Reg::R13;
 const T_START: Reg = Reg::R14;
 const T_END: Reg = Reg::R15;
 
-/// Build the timed instruction sequence for one probe of `kind`.
+/// The timed instruction sequence for one probe of `kind`.
 ///
 /// The target address is taken from `R13`; timings land in `R14`/`R15`.
-pub fn probe_sequence(kind: ProbeKind) -> Vec<Instr> {
-    let mem = MemRef::base(ADDR_REG);
-    let op = match kind {
-        ProbeKind::Load => Instr::Load { dst: Reg::R12, mem, size: MemSize::Quad },
-        ProbeKind::Flush => Instr::Clflush { mem },
-        ProbeKind::FlushOpt => Instr::Clflushopt { mem },
-        ProbeKind::Store => Instr::StoreImm { mem, imm: 0x90 },
-        ProbeKind::Lock => Instr::LockInc { mem },
-        ProbeKind::Prefetch => Instr::PrefetchT0 { mem },
-        ProbeKind::PrefetchNta => Instr::PrefetchNta { mem },
-        ProbeKind::Execute => Instr::CallReg { target: ADDR_REG },
-        ProbeKind::Clwb => Instr::Clwb { mem },
-    };
-    vec![
-        Instr::Mfence,
-        Instr::Rdtsc { dst: T_START },
-        op,
-        Instr::Mfence,
-        Instr::Rdtsc { dst: T_END },
-    ]
+/// The sequences are built at compile time: a prober issues millions of
+/// measurements per experiment, so the hot path must not allocate.
+pub fn probe_sequence(kind: ProbeKind) -> &'static [Instr; 5] {
+    const MEM: MemRef = MemRef { base: ADDR_REG, disp: 0 };
+    const fn seq(op: Instr) -> [Instr; 5] {
+        [
+            Instr::Mfence,
+            Instr::Rdtsc { dst: T_START },
+            op,
+            Instr::Mfence,
+            Instr::Rdtsc { dst: T_END },
+        ]
+    }
+    match kind {
+        ProbeKind::Load => {
+            const S: [Instr; 5] = seq(Instr::Load { dst: Reg::R12, mem: MEM, size: MemSize::Quad });
+            &S
+        }
+        ProbeKind::Flush => {
+            const S: [Instr; 5] = seq(Instr::Clflush { mem: MEM });
+            &S
+        }
+        ProbeKind::FlushOpt => {
+            const S: [Instr; 5] = seq(Instr::Clflushopt { mem: MEM });
+            &S
+        }
+        ProbeKind::Store => {
+            const S: [Instr; 5] = seq(Instr::StoreImm { mem: MEM, imm: 0x90 });
+            &S
+        }
+        ProbeKind::Lock => {
+            const S: [Instr; 5] = seq(Instr::LockInc { mem: MEM });
+            &S
+        }
+        ProbeKind::Prefetch => {
+            const S: [Instr; 5] = seq(Instr::PrefetchT0 { mem: MEM });
+            &S
+        }
+        ProbeKind::PrefetchNta => {
+            const S: [Instr; 5] = seq(Instr::PrefetchNta { mem: MEM });
+            &S
+        }
+        ProbeKind::Execute => {
+            const S: [Instr; 5] = seq(Instr::CallReg { target: ADDR_REG });
+            &S
+        }
+        ProbeKind::Clwb => {
+            const S: [Instr; 5] = seq(Instr::Clwb { mem: MEM });
+            &S
+        }
+    }
 }
 
 /// τ_w exposure-window jitter: the per-trace prime→probe wait derived
@@ -113,7 +144,7 @@ impl Prober {
         addr: Addr,
     ) -> Result<ProbeTiming, StepError> {
         machine.set_reg(self.tid, ADDR_REG, addr.0);
-        machine.run_sequence(self.tid, &probe_sequence(kind))?;
+        machine.run_sequence(self.tid, probe_sequence(kind))?;
         let start = machine.reg(self.tid, T_START);
         let end = machine.reg(self.tid, T_END);
         Ok(ProbeTiming { cycles: end.saturating_sub(start), line: addr.line(), kind })

@@ -18,14 +18,9 @@ impl CacheGeometry {
     }
 }
 
-#[derive(Copy, Clone, Debug)]
-struct LineEntry {
-    /// Line-aligned address stored in this way.
-    line: u64,
-    dirty: bool,
-    /// LRU stamp; larger is more recent.
-    stamp: u64,
-}
+/// Sentinel for an empty way slot (no simulated address is line-aligned at
+/// `u64::MAX`).
+const EMPTY: u64 = u64::MAX;
 
 /// A line evicted to make room for a fill.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -47,10 +42,26 @@ pub struct Evicted {
 /// assert!(c.contains(Addr(0x1000)));
 /// assert!(!c.contains(Addr(0x2000)));
 /// ```
+/// Storage is struct-of-arrays over fixed way slots (`set * ways + way`):
+/// the tag scan — the single hottest loop in the simulator, run on every
+/// fetch, load, store and probe — walks a contiguous `u64` slice the
+/// compiler can unroll and vectorize, instead of chasing 24-byte entries.
+/// Within a set the occupied slots form a prefix (`occ[set]` of them), so
+/// lightly-filled sets — the common case right after a per-trace reset —
+/// scan only the lines actually present, exactly like the old `Vec` sets.
+/// LRU stamps live in a parallel array touched only on a hit.
 #[derive(Clone, Debug)]
 pub struct Cache {
     geom: CacheGeometry,
-    sets: Vec<Vec<LineEntry>>,
+    /// Line-aligned address per way slot; only the first `occ[set]` slots
+    /// of each set are meaningful, the rest hold [`EMPTY`].
+    lines: Vec<u64>,
+    /// LRU stamp per way slot; larger is more recent, unique per cache.
+    stamps: Vec<u64>,
+    /// Dirty bit per way slot.
+    dirty: Vec<bool>,
+    /// Number of occupied way slots per set.
+    occ: Vec<u8>,
     clock: u64,
 }
 
@@ -63,9 +74,14 @@ impl Cache {
     pub fn new(geom: CacheGeometry) -> Cache {
         assert!(geom.sets.is_power_of_two(), "sets must be a power of two");
         assert!(geom.ways > 0, "ways must be nonzero");
+        assert!(geom.ways <= u8::MAX as usize, "way count fits the occupancy array");
+        let slots = geom.sets * geom.ways;
         Cache {
             geom,
-            sets: (0..geom.sets).map(|_| Vec::with_capacity(geom.ways)).collect(),
+            lines: vec![EMPTY; slots],
+            stamps: vec![0; slots],
+            dirty: vec![false; slots],
+            occ: vec![0; geom.sets],
             clock: 0,
         }
     }
@@ -79,31 +95,45 @@ impl Cache {
         addr.set_index(self.geom.sets)
     }
 
+    /// Range of *occupied* way-slot indices of the set containing `addr`.
+    #[inline]
+    fn slots_of(&self, addr: Addr) -> std::ops::Range<usize> {
+        let set = self.set_of(addr);
+        let base = set * self.geom.ways;
+        base..base + usize::from(self.occ[set])
+    }
+
+    /// Slot index holding `line` within `slots`, if present.
+    #[inline]
+    fn find(&self, slots: std::ops::Range<usize>, line: u64) -> Option<usize> {
+        self.lines[slots.clone()].iter().position(|&l| l == line).map(|w| slots.start + w)
+    }
+
     /// Whether the line containing `addr` is present.
+    #[inline]
     pub fn contains(&self, addr: Addr) -> bool {
         let line = addr.line().0;
-        self.sets[self.set_of(addr)].iter().any(|e| e.line == line)
+        self.lines[self.slots_of(addr)].contains(&line)
     }
 
     /// Whether the line containing `addr` is present and dirty.
     pub fn is_dirty(&self, addr: Addr) -> bool {
         let line = addr.line().0;
-        self.sets[self.set_of(addr)].iter().any(|e| e.line == line && e.dirty)
+        self.find(self.slots_of(addr), line).is_some_and(|i| self.dirty[i])
     }
 
     /// Mark the line as most-recently-used. Returns `true` if it was present.
+    #[inline]
     pub fn touch(&mut self, addr: Addr) -> bool {
         let line = addr.line().0;
-        let set = self.set_of(addr);
         self.clock += 1;
-        let stamp = self.clock;
-        for e in &mut self.sets[set] {
-            if e.line == line {
-                e.stamp = stamp;
-                return true;
+        match self.find(self.slots_of(addr), line) {
+            Some(i) => {
+                self.stamps[i] = self.clock;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Insert (fill) the line containing `addr`, evicting the LRU way if the
@@ -111,95 +141,201 @@ impl Cache {
     /// the dirty bit.
     pub fn insert(&mut self, addr: Addr, dirty: bool) -> Option<Evicted> {
         let line = addr.line().0;
-        let set = self.set_of(addr);
         self.clock += 1;
         let stamp = self.clock;
-        let ways = self.geom.ways;
-        let entries = &mut self.sets[set];
-        for e in entries.iter_mut() {
-            if e.line == line {
-                e.stamp = stamp;
-                e.dirty |= dirty;
-                return None;
-            }
+        let slots = self.slots_of(addr);
+        if let Some(i) = self.find(slots.clone(), line) {
+            self.stamps[i] = stamp;
+            self.dirty[i] |= dirty;
+            return None;
         }
-        let mut evicted = None;
-        if entries.len() >= ways {
-            let (idx, _) = entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.stamp)
-                .expect("set is full, so nonempty");
-            let victim = entries.swap_remove(idx);
-            evicted = Some(Evicted { line: Addr(victim.line), dirty: victim.dirty });
-        }
-        entries.push(LineEntry { line, dirty, stamp });
+        // Append into the free suffix if any, else replace the
+        // (unique-stamped) LRU victim.
+        let set = self.set_of(addr);
+        let (slot, evicted) = if usize::from(self.occ[set]) < self.geom.ways {
+            self.occ[set] += 1;
+            (slots.end, None)
+        } else {
+            let victim =
+                slots.clone().min_by_key(|&i| self.stamps[i]).expect("set is full, so nonempty");
+            let ev = Evicted { line: Addr(self.lines[victim]), dirty: self.dirty[victim] };
+            (victim, Some(ev))
+        };
+        self.lines[slot] = line;
+        self.stamps[slot] = stamp;
+        self.dirty[slot] = dirty;
         evicted
     }
 
     /// Set the dirty bit on a present line. Returns `true` if present.
     pub fn mark_dirty(&mut self, addr: Addr) -> bool {
         let line = addr.line().0;
-        let set = self.set_of(addr);
-        for e in &mut self.sets[set] {
-            if e.line == line {
-                e.dirty = true;
-                return true;
+        match self.find(self.slots_of(addr), line) {
+            Some(i) => {
+                self.dirty[i] = true;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Clear the dirty bit on a present line (write-back). Returns `true`
     /// if the line was present and dirty.
     pub fn clean(&mut self, addr: Addr) -> bool {
         let line = addr.line().0;
-        let set = self.set_of(addr);
-        for e in &mut self.sets[set] {
-            if e.line == line {
-                let was = e.dirty;
-                e.dirty = false;
-                return was;
+        match self.find(self.slots_of(addr), line) {
+            Some(i) => {
+                let was = self.dirty[i];
+                self.dirty[i] = false;
+                was
             }
+            None => false,
         }
-        false
     }
 
     /// Remove the line containing `addr`. Returns the evicted entry if it
     /// was present.
     pub fn invalidate(&mut self, addr: Addr) -> Option<Evicted> {
         let line = addr.line().0;
-        let set = self.set_of(addr);
-        let entries = &mut self.sets[set];
-        if let Some(idx) = entries.iter().position(|e| e.line == line) {
-            let victim = entries.swap_remove(idx);
-            return Some(Evicted { line: Addr(victim.line), dirty: victim.dirty });
+        let slots = self.slots_of(addr);
+        match self.find(slots.clone(), line) {
+            Some(i) => {
+                let ev = Evicted { line: Addr(self.lines[i]), dirty: self.dirty[i] };
+                // Keep the occupied prefix dense: move the last occupied
+                // slot into the hole (slot order carries no meaning — LRU
+                // is decided purely by the unique stamps).
+                let last = slots.end - 1;
+                self.lines[i] = self.lines[last];
+                self.stamps[i] = self.stamps[last];
+                self.dirty[i] = self.dirty[last];
+                self.lines[last] = EMPTY;
+                let set = self.set_of(addr);
+                self.occ[set] -= 1;
+                Some(ev)
+            }
+            None => None,
         }
-        None
     }
 
     /// Invalidate every line (e.g. `wbinvd`).
     pub fn flush_all(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.lines.fill(EMPTY);
+        self.occ.fill(0);
     }
 
     /// Lines currently resident in set `set`, in no particular order.
     /// Borrows instead of allocating — callers that need a `Vec` collect
     /// explicitly; diagnostic sweeps over many sets stay allocation-free.
     pub fn lines_in_set(&self, set: usize) -> impl Iterator<Item = Addr> + '_ {
-        self.sets[set].iter().map(|e| Addr(e.line))
+        let base = set * self.geom.ways;
+        self.lines[base..base + usize::from(self.occ[set])].iter().map(|&l| Addr(l))
     }
 
     /// Number of valid lines across all sets.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.occ.iter().map(|&n| usize::from(n)).sum()
     }
 
     /// The least-recently-used line in `set`, if the set is nonempty.
     pub fn lru_line(&self, set: usize) -> Option<Addr> {
-        self.sets[set].iter().min_by_key(|e| e.stamp).map(|e| Addr(e.line))
+        let base = set * self.geom.ways;
+        (base..base + usize::from(self.occ[set]))
+            .min_by_key(|&i| self.stamps[i])
+            .map(|i| Addr(self.lines[i]))
+    }
+}
+
+/// Lines covered by one [`LineFilter`] page: 64 × 64 bits = 4096 lines,
+/// i.e. 256 KiB of address space per page.
+const FILTER_PAGE_LINES: u64 = 64 * 64;
+/// Address-space cap precisely tracked by the filter: 4 GiB. Anything at
+/// or above this is answered conservatively (`true`).
+const FILTER_MAX_PAGES: usize = ((1u64 << 32) / (FILTER_PAGE_LINES * crate::LINE_SIZE)) as usize;
+
+/// A one-bit-per-line membership *superset* filter over the address space.
+///
+/// The SMC detection unit must check, on **every** store / flush /
+/// prefetch, whether the touched line might be code-resident
+/// (`Engine::smc_conflict`). That exact check walks an L1i set plus both
+/// threads' fetch windows — cheap in isolation, but it sits on the hot
+/// path of data-heavy victims where essentially every store targets the
+/// data segment and the answer is always "no". `LineFilter` makes that
+/// common case one shift-and-mask: the hierarchy marks every line it ever
+/// inserts into the L1i, never clears individual bits (only whole-machine
+/// [`LineFilter::clear`]), so a clear bit *proves* the line was never
+/// fetched as code and the exact probe can be skipped. Set bits say
+/// nothing (the line may since have been evicted) and fall through to the
+/// exact check, so stale bits cost a probe, never correctness.
+///
+/// Storage is a lazily-allocated paged bitmap (one 512-byte page per
+/// 256 KiB of address space) capped at 4 GiB; beyond the cap queries are
+/// unconditionally conservative and inserts are dropped.
+///
+/// ```
+/// use smack_uarch::cache::LineFilter;
+/// use smack_uarch::Addr;
+///
+/// let mut f = LineFilter::new();
+/// assert!(!f.maybe_contains(Addr(0x1000)));
+/// f.insert(Addr(0x1000));
+/// assert!(f.maybe_contains(Addr(0x1008))); // same line
+/// assert!(!f.maybe_contains(Addr(0x2000)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LineFilter {
+    pages: Vec<Option<Box<[u64; 64]>>>,
+}
+
+impl LineFilter {
+    /// An empty filter (no storage allocated yet).
+    pub fn new() -> LineFilter {
+        LineFilter::default()
+    }
+
+    #[inline]
+    fn locate(addr: Addr) -> (usize, usize, u64) {
+        let line_idx = addr.0 / crate::LINE_SIZE;
+        let page = (line_idx / FILTER_PAGE_LINES) as usize;
+        let bit = line_idx % FILTER_PAGE_LINES;
+        (page, (bit / 64) as usize, 1u64 << (bit % 64))
+    }
+
+    /// Mark the line containing `addr` as possibly code-resident.
+    /// Addresses beyond the 4 GiB tracking cap are ignored (queries there
+    /// already answer conservatively).
+    #[inline]
+    pub fn insert(&mut self, addr: Addr) {
+        let (page, word, mask) = Self::locate(addr);
+        if page >= FILTER_MAX_PAGES {
+            return;
+        }
+        if page >= self.pages.len() {
+            self.pages.resize_with(page + 1, || None);
+        }
+        let words = self.pages[page].get_or_insert_with(|| Box::new([0u64; 64]));
+        words[word] |= mask;
+    }
+
+    /// `false` proves the line containing `addr` was never inserted;
+    /// `true` means "maybe" (or "beyond the tracked range").
+    #[inline]
+    pub fn maybe_contains(&self, addr: Addr) -> bool {
+        let (page, word, mask) = Self::locate(addr);
+        if page >= FILTER_MAX_PAGES {
+            return true;
+        }
+        match self.pages.get(page) {
+            Some(Some(words)) => words[word] & mask != 0,
+            _ => false,
+        }
+    }
+
+    /// Forget everything (whole-machine reset). Keeps allocated pages,
+    /// zeroed in place, so steady-state resets don't churn the allocator.
+    pub fn clear(&mut self) {
+        for page in self.pages.iter_mut().flatten() {
+            page.fill(0);
+        }
     }
 }
 
@@ -285,5 +421,52 @@ mod tests {
         assert!(c.contains(Addr(64)));
         assert_eq!(c.lines_in_set(1).collect::<Vec<_>>(), vec![Addr(64)]);
         assert_eq!(c.occupancy(), 3);
+    }
+
+    #[test]
+    fn line_filter_tracks_lines_not_bytes() {
+        let mut f = LineFilter::new();
+        f.insert(Addr(0x10_0007));
+        // Every byte of the same 64-byte line answers "maybe".
+        assert!(f.maybe_contains(Addr(0x10_0000)));
+        assert!(f.maybe_contains(Addr(0x10_003f)));
+        // Neighboring lines stay provably absent.
+        assert!(!f.maybe_contains(Addr(0x10_0040)));
+        assert!(!f.maybe_contains(Addr(0x0f_ffc0)));
+    }
+
+    #[test]
+    fn line_filter_page_boundaries() {
+        let mut f = LineFilter::new();
+        let page_bytes = FILTER_PAGE_LINES * crate::LINE_SIZE;
+        // Last line of page 0 and first line of page 3.
+        f.insert(Addr(page_bytes - 1));
+        f.insert(Addr(3 * page_bytes));
+        assert!(f.maybe_contains(Addr(page_bytes - 64)));
+        assert!(!f.maybe_contains(Addr(page_bytes)));
+        assert!(f.maybe_contains(Addr(3 * page_bytes + 63)));
+        // Page 2 was never allocated: still a definite no.
+        assert!(!f.maybe_contains(Addr(2 * page_bytes)));
+    }
+
+    #[test]
+    fn line_filter_is_conservative_beyond_cap() {
+        let mut f = LineFilter::new();
+        let beyond = Addr(1u64 << 33);
+        // Never inserted, but out of range → must answer "maybe".
+        assert!(f.maybe_contains(beyond));
+        // Inserting out of range is a no-op, not a huge allocation.
+        f.insert(beyond);
+        assert!(f.pages.is_empty());
+    }
+
+    #[test]
+    fn line_filter_clear_forgets_in_place() {
+        let mut f = LineFilter::new();
+        f.insert(Addr(0x4000));
+        let pages_before = f.pages.len();
+        f.clear();
+        assert!(!f.maybe_contains(Addr(0x4000)));
+        assert_eq!(f.pages.len(), pages_before);
     }
 }

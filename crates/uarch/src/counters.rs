@@ -155,6 +155,11 @@ impl CounterBank {
     }
 
     /// Increment `event` by `n`.
+    ///
+    /// Superblock retirement leans on this being a plain saturating-free
+    /// addition: one `add(InstRetired, n)` at block retire must equal `n`
+    /// per-step bumps (the `batched_add_equals_single_adds` test locks
+    /// that contract).
     #[inline]
     pub fn add(&mut self, event: PerfEvent, n: u64) {
         self.values[event.slot()] += n;
@@ -217,6 +222,26 @@ mod tests {
         b.add(PerfEvent::InstRetired, 32);
         a.accumulate(&b);
         assert_eq!(a.read(PerfEvent::InstRetired), 42);
+    }
+
+    #[test]
+    fn batched_add_equals_single_adds() {
+        // The superblock path retires a whole fused run with one add();
+        // snapshots and deltas taken around it must be indistinguishable
+        // from per-step retirement.
+        let mut batched = CounterBank::new();
+        let mut stepped = CounterBank::new();
+        let (b0, s0) = (batched.snapshot(), stepped.snapshot());
+        batched.add(PerfEvent::InstRetired, 1000);
+        for _ in 0..1000 {
+            stepped.add(PerfEvent::InstRetired, 1);
+        }
+        assert_eq!(batched.read(PerfEvent::InstRetired), stepped.read(PerfEvent::InstRetired));
+        assert_eq!(
+            batched.delta(&b0, PerfEvent::InstRetired),
+            stepped.delta(&s0, PerfEvent::InstRetired)
+        );
+        assert_eq!(batched.snapshot(), stepped.snapshot());
     }
 
     #[test]

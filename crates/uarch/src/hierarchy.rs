@@ -15,7 +15,7 @@
 //!   modified line), which is the hook the SMC detection unit observes.
 
 use crate::addr::Addr;
-use crate::cache::{Cache, CacheGeometry, Evicted};
+use crate::cache::{Cache, CacheGeometry, Evicted, LineFilter};
 
 /// The hierarchy level where an access hit.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -158,6 +158,9 @@ pub struct CacheHierarchy {
     l1d: Cache,
     l2: Cache,
     llc: Cache,
+    /// Superset of every line ever inserted into the L1i since the last
+    /// [`CacheHierarchy::clear`]; backs [`CacheHierarchy::maybe_in_l1i`].
+    l1i_filter: LineFilter,
 }
 
 impl CacheHierarchy {
@@ -169,6 +172,7 @@ impl CacheHierarchy {
             l1d: Cache::new(cfg.l1d),
             l2: Cache::new(cfg.l2),
             llc: Cache::new(cfg.llc),
+            l1i_filter: LineFilter::new(),
         }
     }
 
@@ -184,6 +188,7 @@ impl CacheHierarchy {
         for c in [&mut self.l1i, &mut self.l1d, &mut self.l2, &mut self.llc] {
             c.flush_all();
         }
+        self.l1i_filter.clear();
     }
 
     /// Where is this line cached right now? (Non-mutating.)
@@ -194,6 +199,16 @@ impl CacheHierarchy {
             l2: self.l2.contains(addr),
             llc: self.llc.contains(addr),
         }
+    }
+
+    /// `false` proves the line containing `addr` has never been in the
+    /// L1i since the last [`CacheHierarchy::clear`]; `true` means "maybe,
+    /// run the exact check". One shift-and-mask — the SMC detection unit
+    /// uses this to skip residency probes for stores that provably target
+    /// pure data lines (the overwhelmingly common case).
+    #[inline]
+    pub fn maybe_in_l1i(&self, addr: Addr) -> bool {
+        self.l1i_filter.maybe_contains(addr)
     }
 
     /// Data latency for a hierarchy level.
@@ -233,55 +248,93 @@ impl CacheHierarchy {
 
     /// Instruction fetch of the line containing `addr`; fills L1i/L2/LLC.
     /// Returns the pre-fill hit level.
+    ///
+    /// The presence probes are folded into the LRU `touch` calls (which
+    /// report presence): every cache keeps its own monotonic stamp clock,
+    /// so the extra clock increments on missing levels change only
+    /// absolute stamp values, never the relative recency order — eviction
+    /// decisions, and therefore all observable behavior, are bit-identical
+    /// to the probe-then-touch formulation at half the set scans.
     pub fn fetch(&mut self, addr: Addr) -> AccessInfo {
-        let res = self.residency(addr);
-        let level = res.fetch_level();
-        if res.l1i {
-            self.l1i.touch(addr);
+        let in_l1i = self.l1i.touch(addr);
+        let in_l2 = self.l2.touch(addr);
+        let in_llc = self.llc.touch(addr);
+        let level = if in_l1i {
+            Level::L1i
+        } else if in_l2 {
+            Level::L2
+        } else if in_llc {
+            Level::Llc
         } else {
+            Level::Dram
+        };
+        if !in_l1i {
             self.fill_shared(addr);
             self.l1i.insert(addr, false);
+            self.l1i_filter.insert(addr);
         }
-        if res.l2 {
-            self.l2.touch(addr);
-        }
-        if res.llc {
-            self.llc.touch(addr);
-        }
-        AccessInfo { level, latency: self.ifetch_extra(level), was_in_l1i: res.l1i }
+        AccessInfo { level, latency: self.ifetch_extra(level), was_in_l1i: in_l1i }
     }
 
     /// Data read of the line containing `addr`; fills L1d/L2/LLC.
+    ///
+    /// L1d-hit fast path: a read only re-stamps the L1d line, so the L2
+    /// and LLC scans are skipped entirely when the `touch` reports a hit
+    /// (their state is untouched on a hit in the original formulation
+    /// too — reads do not refresh outer-level LRU).
     pub fn read(&mut self, addr: Addr) -> AccessInfo {
-        let res = self.residency(addr);
-        let level = res.data_level();
-        if res.l1d {
-            self.l1d.touch(addr);
-        } else {
-            self.fill_shared(addr);
-            self.l1d.insert(addr, false);
+        let was_in_l1i = self.l1i.contains(addr);
+        if self.l1d.touch(addr) {
+            return AccessInfo {
+                level: Level::L1d,
+                latency: self.latency_of(Level::L1d),
+                was_in_l1i,
+            };
         }
-        AccessInfo { level, latency: self.latency_of(level), was_in_l1i: res.l1i }
+        let in_l2 = self.l2.contains(addr);
+        let in_llc = self.llc.contains(addr);
+        let level = if in_l2 {
+            Level::L2
+        } else if in_llc {
+            Level::Llc
+        } else {
+            Level::Dram
+        };
+        self.fill_shared(addr);
+        self.l1d.insert(addr, false);
+        AccessInfo { level, latency: self.latency_of(level), was_in_l1i }
     }
 
     /// Data write (read-for-ownership) of the line containing `addr`.
     ///
     /// Invalidates any L1i copy — an instruction cache never holds a
-    /// modified line — and marks the L1d copy dirty.
+    /// modified line — and marks the L1d copy dirty. Same L1d-hit fast
+    /// path as [`CacheHierarchy::read`].
     pub fn write(&mut self, addr: Addr) -> AccessInfo {
-        let res = self.residency(addr);
-        let level = res.data_level();
-        if res.l1i {
+        let was_in_l1i = self.l1i.contains(addr);
+        if was_in_l1i {
             self.l1i.invalidate(addr);
         }
-        if res.l1d {
-            self.l1d.touch(addr);
+        if self.l1d.touch(addr) {
             self.l1d.mark_dirty(addr);
-        } else {
-            self.fill_shared(addr);
-            self.l1d.insert(addr, true);
+            return AccessInfo {
+                level: Level::L1d,
+                latency: self.latency_of(Level::L1d),
+                was_in_l1i,
+            };
         }
-        AccessInfo { level, latency: self.latency_of(level), was_in_l1i: res.l1i }
+        let in_l2 = self.l2.contains(addr);
+        let in_llc = self.llc.contains(addr);
+        let level = if in_l2 {
+            Level::L2
+        } else if in_llc {
+            Level::Llc
+        } else {
+            Level::Dram
+        };
+        self.fill_shared(addr);
+        self.l1d.insert(addr, true);
+        AccessInfo { level, latency: self.latency_of(level), was_in_l1i }
     }
 
     /// `clflush`/`clflushopt`: invalidate the line from every level.
@@ -363,6 +416,7 @@ impl CacheHierarchy {
         }
         if residency.l1i {
             self.l1i.insert(addr, false);
+            self.l1i_filter.insert(addr);
         }
         if residency.l1d {
             self.l1d.insert(addr, false);
@@ -386,6 +440,31 @@ mod tests {
         let r = h.residency(a);
         assert!(r.l1i && r.l2 && r.llc && !r.l1d);
         assert_eq!(h.fetch(a).level, Level::L1i);
+    }
+
+    /// The filter is a sound superset of L1i residency: no line may be in
+    /// the L1i while the filter answers a definite "no" — not after
+    /// fetches, placements, evictions, or clears.
+    #[test]
+    fn l1i_filter_is_a_residency_superset() {
+        let mut h = hier();
+        let code = Addr(0x4000);
+        let data = Addr(0x9000);
+        assert!(!h.maybe_in_l1i(code));
+        h.fetch(code);
+        assert!(h.maybe_in_l1i(code));
+        h.read(data);
+        assert!(!h.maybe_in_l1i(data), "data reads must not pollute the filter");
+        // Eviction leaves the bit set: stale "maybe" is allowed...
+        h.invalidate_l1i(code);
+        assert!(!h.residency(code).l1i);
+        assert!(h.maybe_in_l1i(code));
+        // ...and place() marks, clear() forgets.
+        h.place(data, Residency { l1i: true, l1d: false, l2: false, llc: true });
+        assert!(h.maybe_in_l1i(data));
+        h.clear();
+        assert!(!h.maybe_in_l1i(code));
+        assert!(!h.maybe_in_l1i(data));
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod mem;
 pub mod noise;
 pub mod pool;
 pub mod profile;
+pub mod stablehash;
 pub mod tlb;
 pub mod trace;
 

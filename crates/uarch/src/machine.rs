@@ -128,6 +128,22 @@ impl Machine {
         self.engine.decoded_fast_path()
     }
 
+    /// Enable or disable superblock execution (batched retirement of fused
+    /// straight-line runs; requires the decoded fast path) — see
+    /// [`Engine::set_superblocks`]. The default comes from the
+    /// `SMACK_SUPERBLOCK` environment variable (`0` = off, anything else =
+    /// on, unset = on), mirroring `SMACK_BURST`; output is bit-identical
+    /// either way, so the toggle exists for the CI determinism gate and
+    /// for benchmarking the per-step path. Reset restores the default.
+    pub fn set_superblocks(&mut self, on: bool) {
+        self.engine.set_superblocks(on);
+    }
+
+    /// Whether superblock execution is active.
+    pub fn superblocks(&self) -> bool {
+        self.engine.superblocks()
+    }
+
     /// The microarchitecture profile.
     pub fn profile(&self) -> &UarchProfile {
         self.engine.profile()

@@ -359,15 +359,18 @@ impl UarchProfile {
         cycles as f64 / (self.freq_ghz * 1e9)
     }
 
-    /// A process-stable digest of every behavior-relevant field, used to
-    /// key machine pools and calibration caches. Two profiles with the
-    /// same fingerprint simulate identically; ablation-perturbed profiles
+    /// A toolchain-stable digest of every behavior-relevant field, used to
+    /// key machine pools and calibration caches (including the persistent
+    /// `SMACK_CALIB_DIR` disk cache, so the encoding must never drift —
+    /// it is computed with [`crate::stablehash::StableHasher`] and locked
+    /// by the `fingerprint_compat` test). Two profiles with the same
+    /// fingerprint simulate identically; ablation-perturbed profiles
     /// (e.g. a tweaked `probe_costs` cell) get distinct fingerprints and
     /// therefore never share pooled machines or cached calibrations with
     /// the stock profile they were derived from.
     pub fn fingerprint(&self) -> u64 {
         use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+        let mut h = crate::stablehash::StableHasher::new();
         self.arch.hash(&mut h);
         self.vendor.hash(&mut h);
         self.freq_ghz.to_bits().hash(&mut h);
@@ -548,6 +551,19 @@ fn build_profile(arch: MicroArch) -> UarchProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Locks the stable fingerprint encoding. These digests key the
+    /// persistent `SMACK_CALIB_DIR` calibration cache; if this test fails,
+    /// the hashing scheme changed and every on-disk cache entry will be
+    /// orphaned — that is only acceptable in a PR that says so explicitly.
+    #[test]
+    fn fingerprint_compat() {
+        assert_eq!(MicroArch::WestmereEp.profile().fingerprint(), 0x290384fde5c76ec5);
+        assert_eq!(MicroArch::CascadeLake.profile().fingerprint(), 0xc3cbdc941e1b4e5f);
+        assert_eq!(MicroArch::AmdRyzen5.profile().fingerprint(), 0x6c7408527579f347);
+        assert_eq!(MicroArch::AmdEpyc7232P.profile().fingerprint(), 0x9aa47ae4ef03979f);
+        assert_eq!(MicroArch::TigerLake.profile().fingerprint(), 0x7ee9242397e1ce5b);
+    }
 
     #[test]
     fn table3_spot_checks() {

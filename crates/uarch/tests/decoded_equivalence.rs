@@ -1,14 +1,17 @@
-//! The decoded fast path is an *optimization*, never a semantic change:
-//! for arbitrary programs, executing through the pre-decoded side table
+//! The decoded fast path and superblock execution are *optimizations*,
+//! never a semantic change: for arbitrary programs, executing through the
+//! pre-decoded side table — with or without fused superblock retirement —
 //! must produce exactly the architectural state, clocks, and performance
-//! counters of the original per-step `BTreeMap` reference interpreter —
-//! and the same holds across engine burst sizes, including burst 1 (the
-//! historical one-instruction-per-call scheduling).
+//! counters of the original per-step `BTreeMap` reference interpreter.
+//! The same holds across engine burst sizes (including burst 1, the
+//! historical one-instruction-per-call scheduling), under injected
+//! eviction noise, and across mid-run code patches that force decoded
+//! lines to re-fuse.
 
 use proptest::prelude::*;
 use smack_uarch::asm::{Assembler, Program};
 use smack_uarch::isa::{MemRef, Reg};
-use smack_uarch::{Machine, MicroArch, ThreadId};
+use smack_uarch::{Machine, MicroArch, NoiseConfig, ThreadId};
 
 const T0: ThreadId = ThreadId::T0;
 const T1: ThreadId = ThreadId::T1;
@@ -37,6 +40,9 @@ enum BodyOp {
     CallHelperReg,
     Clflush(u8),
     Nop,
+    /// A bounded inner loop (backward `jne`): superblocks must stop at
+    /// the branch and re-enter the run at the loop head every iteration.
+    InnerLoop(u8, u8),
 }
 
 fn op_strategy() -> impl Strategy<Value = BodyOp> {
@@ -51,6 +57,7 @@ fn op_strategy() -> impl Strategy<Value = BodyOp> {
         Just(BodyOp::CallHelperReg),
         (0u8..16).prop_map(BodyOp::Clflush),
         Just(BodyOp::Nop),
+        (0u8..8, 2u8..5).prop_map(|(r, n)| BodyOp::InnerLoop(r, n)),
     ]
 }
 
@@ -122,6 +129,16 @@ fn build_program(ops: &[BodyOp]) -> Program {
             BodyOp::Nop => {
                 a.nop();
             }
+            BodyOp::InnerLoop(r, n) => {
+                // R11 is reserved as the inner counter, so nesting with
+                // the outer loop (R10) stays well-formed.
+                a.mov_imm(Reg::R11, 0)
+                    .label(&format!("inner{i}"))
+                    .add_imm(reg(r), 1)
+                    .add_imm(Reg::R11, 1)
+                    .cmp_imm(Reg::R11, n as u64)
+                    .jne(format!("inner{i}"));
+            }
         }
         for l in &labels_after[i] {
             a.label(l);
@@ -143,11 +160,33 @@ struct Outcome {
     data: Vec<u8>,
 }
 
+/// Interpreter configuration for one equivalence run. `superblocks`
+/// implies nothing unless `decoded` is set (the engine gates fusion on
+/// the decoded table), so (false, true) is normalized to plain reference.
+#[derive(Copy, Clone, Debug)]
+struct Cfg {
+    decoded: bool,
+    superblocks: bool,
+    burst: u64,
+}
+
+const REFERENCE: Cfg = Cfg { decoded: false, superblocks: false, burst: 4096 };
+
+fn machine(cfg: Cfg, noise_seed: Option<u64>) -> Machine {
+    let profile = MicroArch::CascadeLake.profile();
+    let mut m = match noise_seed {
+        Some(seed) => Machine::with_noise(profile, NoiseConfig::realistic(), seed),
+        None => Machine::new(profile),
+    };
+    m.set_decoded_fast_path(cfg.decoded);
+    m.set_superblocks(cfg.superblocks);
+    m.set_burst_steps(cfg.burst);
+    m
+}
+
 /// Run `prog` to completion under the given interpreter configuration.
-fn run(prog: &Program, decoded: bool, burst: u64) -> Outcome {
-    let mut m = Machine::new(MicroArch::CascadeLake.profile());
-    m.set_decoded_fast_path(decoded);
-    m.set_burst_steps(burst);
+fn run(prog: &Program, cfg: Cfg, noise_seed: Option<u64>) -> Outcome {
+    let mut m = machine(cfg, noise_seed);
     m.load_program(prog);
     m.start_program(T0, prog.entry(), &[]);
     m.run_until_halt(T0, 1_000_000).expect("program halts");
@@ -161,32 +200,30 @@ fn run(prog: &Program, decoded: bool, burst: u64) -> Outcome {
     }
 }
 
-/// A runtime rewrite of the helper routine's code line: the same-length
-/// variant swaps `add` for `xor` (instruction boundaries survive, so the
-/// engine re-decodes the entries in place); the extending variant also
-/// places a fresh routine at new addresses, forcing the full-recompile
-/// fallback.
-fn helper_patch(extend: bool) -> Program {
+/// A runtime rewrite of the helper routine's code line. Three variants:
+/// a same-length `xor` swap (instruction boundaries survive, entries
+/// re-decode in place), a same-length `mfence` swap (`mfence` cannot fuse
+/// into a superblock, so the helper line must re-fuse with a new break
+/// where a fusable run used to be), and the boundary-moving variant that
+/// also places a fresh routine at new addresses, forcing the
+/// full-recompile fallback.
+fn helper_patch(kind: u8) -> Program {
     let mut a = Assembler::new(HELPER_BASE);
-    a.label("helper").xor(Reg::R0, Reg::R1).nop().ret();
-    if extend {
-        a.org(HELPER_BASE + 0x40).label("helper2").add_imm(Reg::R0, 5).ret();
-    }
+    match kind {
+        0 => a.label("helper").xor(Reg::R0, Reg::R1).nop().ret(),
+        1 => a.label("helper").mfence().nop().ret(),
+        _ => {
+            a.label("helper").xor(Reg::R0, Reg::R1).nop().ret();
+            a.org(HELPER_BASE + 0x40).label("helper2").add_imm(Reg::R0, 5).ret()
+        }
+    };
     a.assemble().expect("patch assembles")
 }
 
 /// Run `prog`, apply `patch` after `at_step` engine steps (mid-run
 /// self-modification), and run to completion.
-fn run_with_patch(
-    prog: &Program,
-    patch: &Program,
-    at_step: u64,
-    decoded: bool,
-    burst: u64,
-) -> Outcome {
-    let mut m = Machine::new(MicroArch::CascadeLake.profile());
-    m.set_decoded_fast_path(decoded);
-    m.set_burst_steps(burst);
+fn run_with_patch(prog: &Program, patch: &Program, at_step: u64, cfg: Cfg) -> Outcome {
+    let mut m = machine(cfg, None);
     m.load_program(prog);
     m.start_program(T0, prog.entry(), &[]);
     m.run_burst(T0, at_step).expect("prefix runs");
@@ -202,51 +239,68 @@ fn run_with_patch(
     }
 }
 
+/// The non-reference configurations every proptest checks: superblocks
+/// across burst sizes, the per-step decoded path, and reference at
+/// burst 1.
+const CONFIGS: [Cfg; 5] = [
+    Cfg { decoded: true, superblocks: true, burst: 4096 },
+    Cfg { decoded: true, superblocks: true, burst: 1 },
+    Cfg { decoded: true, superblocks: true, burst: 7 },
+    Cfg { decoded: true, superblocks: false, burst: 4096 },
+    Cfg { decoded: false, superblocks: false, burst: 1 },
+];
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Decoded vs reference interpreter, and burst 1 vs large bursts: all
-    /// four configurations retire the same architecture, time, and
-    /// counter state for arbitrary programs.
+    /// Superblock vs per-step decoded vs reference interpreter, and
+    /// burst 1 vs large bursts: every configuration retires the same
+    /// architecture, time, and counter state for arbitrary programs
+    /// (including backward inner-loop branches).
     #[test]
     fn prop_decoded_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..80)) {
         let prog = build_program(&ops);
-        let reference = run(&prog, false, 4096);
-        for (decoded, burst) in [(true, 4096), (true, 1), (true, 7), (false, 1)] {
-            let got = run(&prog, decoded, burst);
-            prop_assert_eq!(
-                &got,
-                &reference,
-                "decoded={} burst={} diverged",
-                decoded,
-                burst
-            );
+        let reference = run(&prog, REFERENCE, None);
+        for cfg in CONFIGS {
+            let got = run(&prog, cfg, None);
+            prop_assert_eq!(&got, &reference, "{:?} diverged", cfg);
         }
     }
 
     /// Self-modified code lines re-decode into the side table: rewriting
-    /// the helper routine mid-run (same-length in-place patch, and the
-    /// boundary-moving variant that forces a recompile) must leave the
-    /// decoded fast path bit-identical to the map-lookup reference, for
+    /// the helper routine mid-run (same-length in-place patch, the
+    /// fusability-flipping `mfence` patch, and the boundary-moving
+    /// variant that forces a recompile) must leave the decoded and
+    /// superblock paths bit-identical to the map-lookup reference, for
     /// every burst size.
     #[test]
     fn prop_rewritten_code_lines_match_reference(
         ops in proptest::collection::vec(op_strategy(), 1..60),
-        extend in any::<bool>(),
+        kind in 0u8..3,
         at_step in 1u64..150,
     ) {
         let prog = build_program(&ops);
-        let patch = helper_patch(extend);
-        let reference = run_with_patch(&prog, &patch, at_step, false, 4096);
-        for (decoded, burst) in [(true, 4096), (true, 1), (true, 7)] {
-            let got = run_with_patch(&prog, &patch, at_step, decoded, burst);
-            prop_assert_eq!(
-                &got,
-                &reference,
-                "decoded={} burst={} diverged after rewrite",
-                decoded,
-                burst
-            );
+        let patch = helper_patch(kind);
+        let reference = run_with_patch(&prog, &patch, at_step, REFERENCE);
+        for cfg in &CONFIGS[..4] {
+            let got = run_with_patch(&prog, &patch, at_step, *cfg);
+            prop_assert_eq!(&got, &reference, "{:?} diverged after rewrite {}", cfg, kind);
+        }
+    }
+
+    /// Injected eviction noise is drawn from the engine clock, which the
+    /// superblock guards keep bit-identical: noisy runs must agree across
+    /// every interpreter tier and burst size too.
+    #[test]
+    fn prop_noisy_runs_match_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let prog = build_program(&ops);
+        let reference = run(&prog, REFERENCE, Some(seed));
+        for cfg in CONFIGS {
+            let got = run(&prog, cfg, Some(seed));
+            prop_assert_eq!(&got, &reference, "{:?} diverged under noise", cfg);
         }
     }
 }
@@ -279,9 +333,16 @@ fn dual_thread_decoded_matches_reference() {
     let driver = b.assemble().unwrap();
 
     let mut outcomes = Vec::new();
-    for (decoded, burst) in [(false, 4096), (true, 4096), (true, 1), (true, 64)] {
+    for (decoded, superblocks, burst) in [
+        (false, false, 4096),
+        (true, true, 4096),
+        (true, true, 1),
+        (true, true, 64),
+        (true, false, 4096),
+    ] {
         let mut m = Machine::new(MicroArch::CascadeLake.profile());
         m.set_decoded_fast_path(decoded);
+        m.set_superblocks(superblocks);
         m.set_burst_steps(burst);
         m.load_program(&victim);
         m.load_program(&driver);
@@ -290,7 +351,7 @@ fn dual_thread_decoded_matches_reference() {
         m.run_until_halt(T0, 1_000_000).unwrap();
         m.run_until_halt(T1, 1_000_000).unwrap();
         outcomes.push((
-            decoded,
+            (decoded, superblocks),
             burst,
             m.reg(T0, Reg::R1),
             m.reg(T0, Reg::R2),
@@ -313,7 +374,7 @@ fn dual_thread_decoded_matches_reference() {
                 &outcomes[0].7,
                 &outcomes[0].8
             ),
-            "config (decoded={}, burst={}) diverged from reference",
+            "config (decoded, superblocks)={:?}, burst={} diverged from reference",
             o.0,
             o.1
         );
