@@ -1,0 +1,313 @@
+//! Instruction-level control-flow graph over a decoded program.
+//!
+//! Nodes are the indices of [`smack_uarch::DecodedProgram`] — the analyzer
+//! reuses the fall-through/static-target successor indices and cache-line
+//! ids the engine's fast path already computes instead of re-deriving them
+//! from raw addresses. A virtual *exit* node (index `len()`) absorbs
+//! `halt`, returns with an empty call stack, and transfers to unmapped
+//! addresses.
+//!
+//! Dynamic transfers get conservative target sets: `call *%reg` may reach
+//! any *harvested candidate* — an immediate operand somewhere in the
+//! program that names a decoded pc (the `mov_label`-into-register idiom),
+//! or any decoded pc inside a declared [`SecretSpec::indirect_targets`]
+//! range; when no candidate is found at all, every node is a candidate.
+//! `ret` may resume at the fall-through of any call site. Both are
+//! over-approximations, which is exactly what a may-analysis needs.
+//!
+//! Two successor views coexist:
+//! - the **flow view** ([`Cfg::flow_succs`]) follows calls into their
+//!   callees and returns to every return site — taint propagation and the
+//!   reachable fetch footprint use it;
+//! - the **walk view** ([`Cfg::walk_succs`]) steps *over* calls (the
+//!   leakage pass adds callee line summaries separately) and ends paths at
+//!   `ret` — postdominators and differential arm walks use it, so a
+//!   branch's arms are compared within the function that branches.
+
+use smack_uarch::asm::Program;
+use smack_uarch::decoded::{DecodedInstr, NO_IDX};
+use smack_uarch::isa::Instr;
+use smack_uarch::DecodedProgram;
+
+use crate::SecretSpec;
+
+/// The analyzer's view of one program. See the [module docs](self).
+pub struct Cfg {
+    decoded: DecodedProgram,
+    entry: u32,
+    /// Candidate node indices for `call *%reg`, sorted and deduplicated.
+    dynamic_targets: Vec<u32>,
+    /// Fall-through node of every `call`/`call *%reg` site (where a `ret`
+    /// may resume), sorted and deduplicated.
+    return_sites: Vec<u32>,
+}
+
+impl Cfg {
+    /// Compile `prog` and derive the graph metadata.
+    pub fn build(prog: &Program, entry: u64, spec: &SecretSpec) -> Cfg {
+        let decoded = DecodedProgram::compile(prog);
+        let n = decoded.len() as u32;
+        let entry = decoded.index_of(entry);
+
+        let mut dynamic_targets: Vec<u32> = Vec::new();
+        let mut return_sites: Vec<u32> = Vec::new();
+        let mut has_callreg = false;
+        for i in 0..n {
+            let d = decoded.get(i);
+            match d.instr {
+                // Immediates that name a decoded pc are candidate computed
+                // targets (covers the `mov_label` idiom used to feed
+                // `call *%reg`).
+                Instr::MovImm { imm, .. } => {
+                    let idx = decoded.index_of(imm);
+                    if idx != NO_IDX {
+                        dynamic_targets.push(idx);
+                    }
+                }
+                Instr::AddImm { imm, .. } => {
+                    let idx = decoded.index_of(imm as u64);
+                    if idx != NO_IDX {
+                        dynamic_targets.push(idx);
+                    }
+                }
+                Instr::Call { .. } if d.fall != NO_IDX => {
+                    return_sites.push(d.fall);
+                }
+                Instr::CallReg { .. } => {
+                    has_callreg = true;
+                    if d.fall != NO_IDX {
+                        return_sites.push(d.fall);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for range in &spec.indirect_targets {
+            for i in 0..n {
+                let pc = decoded.get(i).pc;
+                if pc >= range.start && pc < range.end {
+                    dynamic_targets.push(i);
+                }
+            }
+        }
+        if has_callreg && dynamic_targets.is_empty() {
+            // Nothing harvested: assume an indirect call can land anywhere.
+            dynamic_targets.extend(0..n);
+        }
+        dynamic_targets.sort_unstable();
+        dynamic_targets.dedup();
+        return_sites.sort_unstable();
+        return_sites.dedup();
+
+        Cfg { decoded, entry, dynamic_targets, return_sites }
+    }
+
+    /// The compiled side table the graph is built over.
+    pub fn decoded(&self) -> &DecodedProgram {
+        &self.decoded
+    }
+
+    /// Number of instruction nodes (the virtual exit is index `len()`).
+    pub fn len(&self) -> u32 {
+        self.decoded.len() as u32
+    }
+
+    /// Whether the program decoded to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.decoded.is_empty()
+    }
+
+    /// The virtual exit node.
+    pub fn exit(&self) -> u32 {
+        self.len()
+    }
+
+    /// Entry node (the exit node when the entry pc is unmapped).
+    pub fn entry(&self) -> u32 {
+        if self.entry == NO_IDX {
+            self.exit()
+        } else {
+            self.entry
+        }
+    }
+
+    /// The decoded entry at `idx`.
+    pub fn node(&self, idx: u32) -> &DecodedInstr {
+        self.decoded.get(idx)
+    }
+
+    /// Candidate nodes for `call *%reg`.
+    pub fn dynamic_targets(&self) -> &[u32] {
+        &self.dynamic_targets
+    }
+
+    fn push(&self, out: &mut Vec<u32>, idx: u32) {
+        out.push(if idx == NO_IDX { self.exit() } else { idx });
+    }
+
+    /// Interprocedural successors of `idx` (flow view): calls enter their
+    /// callee, `ret` resumes at every return site.
+    pub fn flow_succs(&self, idx: u32, out: &mut Vec<u32>) {
+        out.clear();
+        if idx >= self.len() {
+            return; // exit has no successors
+        }
+        let d = self.decoded.get(idx);
+        match d.instr {
+            Instr::Halt => out.push(self.exit()),
+            Instr::Jmp { .. } | Instr::Call { .. } => self.push(out, d.target),
+            Instr::Jcc { .. } => {
+                self.push(out, d.fall);
+                self.push(out, d.target);
+            }
+            Instr::CallReg { .. } => {
+                out.extend_from_slice(&self.dynamic_targets);
+                if self.dynamic_targets.is_empty() {
+                    out.push(self.exit());
+                }
+            }
+            Instr::Ret => {
+                out.extend_from_slice(&self.return_sites);
+                out.push(self.exit()); // empty call stack halts the thread
+            }
+            _ => self.push(out, d.fall),
+        }
+    }
+
+    /// Intraprocedural successors of `idx` (walk view): calls step over to
+    /// their return site, `ret` and `halt` end the path.
+    pub fn walk_succs(&self, idx: u32, out: &mut Vec<u32>) {
+        out.clear();
+        if idx >= self.len() {
+            return;
+        }
+        let d = self.decoded.get(idx);
+        match d.instr {
+            Instr::Halt | Instr::Ret => out.push(self.exit()),
+            Instr::Jmp { .. } => self.push(out, d.target),
+            Instr::Jcc { .. } => {
+                self.push(out, d.fall);
+                self.push(out, d.target);
+            }
+            Instr::Call { .. } | Instr::CallReg { .. } => self.push(out, d.fall),
+            _ => self.push(out, d.fall),
+        }
+    }
+
+    /// Every node reachable from the entry through the flow view
+    /// (including the entry itself; the exit node is excluded).
+    pub fn reachable(&self) -> Vec<u32> {
+        let mut seen = vec![false; self.len() as usize + 1];
+        let mut stack = vec![self.entry()];
+        let mut succs = Vec::new();
+        let mut out = Vec::new();
+        while let Some(i) = stack.pop() {
+            if seen[i as usize] {
+                continue;
+            }
+            seen[i as usize] = true;
+            if i < self.len() {
+                out.push(i);
+                self.flow_succs(i, &mut succs);
+                stack.extend_from_slice(&succs);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The static fetch footprint: the line address of every reachable
+    /// node, sorted and deduplicated. Over-approximates the fetch-line log
+    /// of any execution started at the entry.
+    pub fn footprint(&self) -> Vec<u64> {
+        let mut lines: Vec<u64> =
+            self.reachable().iter().map(|i| self.decoded.get(*i).line).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smack_uarch::asm::Assembler;
+    use smack_uarch::isa::Reg;
+
+    fn diamond() -> Program {
+        let mut a = Assembler::new(0x1000);
+        a.cmp_imm(Reg::R1, 0)
+            .je("else_")
+            .add_imm(Reg::R2, 1)
+            .jmp("join")
+            .label("else_")
+            .add_imm(Reg::R2, 2)
+            .label("join")
+            .halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn jcc_has_both_arms_as_successors() {
+        let p = diamond();
+        let cfg = Cfg::build(&p, 0x1000, &SecretSpec::none());
+        let je = (0..cfg.len()).find(|i| matches!(cfg.node(*i).instr, Instr::Jcc { .. })).unwrap();
+        let mut s = Vec::new();
+        cfg.flow_succs(je, &mut s);
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|i| *i < cfg.len()));
+    }
+
+    #[test]
+    fn reachability_covers_both_arms_and_footprint_is_line_granular() {
+        let p = diamond();
+        let cfg = Cfg::build(&p, 0x1000, &SecretSpec::none());
+        assert_eq!(cfg.reachable().len(), cfg.len() as usize, "everything reachable");
+        let fp = cfg.footprint();
+        assert!(!fp.is_empty());
+        assert!(fp.windows(2).all(|w| w[0] < w[1]), "sorted, deduplicated");
+        assert!(fp.iter().all(|l| l % 64 == 0), "line-aligned");
+    }
+
+    #[test]
+    fn mov_label_feeds_callreg_candidates() {
+        let mut a = Assembler::new(0x2000);
+        a.mov_label(Reg::R9, "helper").call_reg(Reg::R9).halt().label("helper").nop().ret();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p, 0x2000, &SecretSpec::none());
+        let helper_pc = p.label("helper").unwrap();
+        let targets: Vec<u64> = cfg.dynamic_targets().iter().map(|i| cfg.node(*i).pc).collect();
+        assert_eq!(targets, vec![helper_pc]);
+        // The helper is reachable through the indirect call.
+        let reach = cfg.reachable();
+        let helper_idx = cfg.decoded().index_of(helper_pc);
+        assert!(reach.contains(&helper_idx));
+    }
+
+    #[test]
+    fn callreg_without_candidates_targets_everything() {
+        let mut a = Assembler::new(0x3000);
+        a.call_reg(Reg::R3).halt();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p, 0x3000, &SecretSpec::none());
+        assert_eq!(cfg.dynamic_targets().len(), cfg.len() as usize);
+    }
+
+    #[test]
+    fn walk_view_steps_over_calls_and_stops_at_ret() {
+        let mut a = Assembler::new(0x4000);
+        a.call("helper").halt().label("helper").nop().ret();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p, 0x4000, &SecretSpec::none());
+        let call =
+            (0..cfg.len()).find(|i| matches!(cfg.node(*i).instr, Instr::Call { .. })).unwrap();
+        let ret = (0..cfg.len()).find(|i| matches!(cfg.node(*i).instr, Instr::Ret)).unwrap();
+        let mut s = Vec::new();
+        cfg.walk_succs(call, &mut s);
+        assert_eq!(s, vec![cfg.node(call).fall], "call steps to its return site");
+        cfg.walk_succs(ret, &mut s);
+        assert_eq!(s, vec![cfg.exit()], "ret ends the walk");
+        cfg.flow_succs(call, &mut s);
+        assert_eq!(s, vec![cfg.node(call).target], "flow view enters the callee");
+    }
+}

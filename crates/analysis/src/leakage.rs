@@ -1,0 +1,393 @@
+//! From tainted transfers to leaky cache lines.
+//!
+//! For a secret-dependent conditional branch, what the attacker can learn
+//! is exactly the *difference* between the instruction lines fetched on
+//! the taken path and on the fall-through path, up to the point where the
+//! two reconverge. This pass computes, per tainted `jcc`:
+//!
+//! - the branch's postdominator set over the [walk view](crate::cfg)
+//!   (iterative intersection dataflow with a virtual exit — small victim
+//!   programs make the O(n²/64) bitset fixpoint a non-issue);
+//! - the set of lines reachable from each arm, walking the same view,
+//!   *stopping* at any postdominator of the branch (the reconvergence
+//!   frontier) and splicing in a whole-callee line summary at every call
+//!   site instead of following return edges (which would smear one arm's
+//!   walk into the other's through unrelated call sites);
+//! - the symmetric difference of the two arm sets — the lines whose fetch
+//!   reveals the branch direction.
+//!
+//! A tainted `call *%reg` leaks which candidate target it jumped to: the
+//! lines reachable in exactly one candidate's summary (union minus
+//! intersection) are leaky. A single-candidate indirect call leaks
+//! nothing.
+//!
+//! Everything is a may-analysis over-approximation: extra lines can
+//! appear in the leaky set (e.g. the driver line holding the guarded
+//! call), but a victim with *no* tainted transfer has a provably
+//! secret-independent fetch footprint.
+
+use std::collections::HashMap;
+
+use smack_uarch::isa::Instr;
+
+use crate::cfg::Cfg;
+use crate::taint::TaintSummary;
+
+/// The leakage verdict inputs derived from one program.
+#[derive(Clone, Debug)]
+pub struct LeakageSummary {
+    /// Cache lines whose fetch depends on the secret (sorted, deduped).
+    pub leaky_lines: Vec<u64>,
+    /// Program counters of the secret-dependent conditional branches.
+    pub tainted_branches: Vec<u64>,
+    /// Program counters of the secret-dependent indirect transfers.
+    pub tainted_transfers: Vec<u64>,
+}
+
+/// Dense bitset over CFG nodes (incl. the virtual exit).
+#[derive(Clone, PartialEq, Eq)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn empty(n: usize) -> BitSet {
+        BitSet { words: vec![0; n.div_ceil(64)] }
+    }
+
+    fn full(n: usize) -> BitSet {
+        let mut b = BitSet { words: vec![u64::MAX; n.div_ceil(64)] };
+        // Mask the tail so equality checks stay meaningful.
+        let tail = n % 64;
+        if tail != 0 {
+            if let Some(last) = b.words.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        b
+    }
+
+    fn contains(&self, i: u32) -> bool {
+        self.words[i as usize / 64] & (1 << (i % 64)) != 0
+    }
+
+    fn insert(&mut self, i: u32) {
+        self.words[i as usize / 64] |= 1 << (i % 64);
+    }
+
+    fn intersect_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            let v = *a & *b;
+            if v != *a {
+                *a = v;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// Postdominator sets over the walk view: `pdom[v]` contains every node
+/// that lies on *all* walk paths from `v` to the exit.
+fn postdominators(cfg: &Cfg) -> Vec<BitSet> {
+    let n = cfg.len() as usize + 1; // + virtual exit
+    let exit = cfg.exit();
+    let mut pdom: Vec<BitSet> = (0..n).map(|_| BitSet::full(n)).collect();
+    let mut only_exit = BitSet::empty(n);
+    only_exit.insert(exit);
+    pdom[exit as usize] = only_exit;
+
+    let mut changed = true;
+    let mut succs = Vec::new();
+    while changed {
+        changed = false;
+        // Reverse instruction order approximates reverse topological order
+        // of the walk view, so most programs converge in a few sweeps.
+        for v in (0..cfg.len()).rev() {
+            cfg.walk_succs(v, &mut succs);
+            let mut acc: Option<BitSet> = None;
+            for &s in &succs {
+                match &mut acc {
+                    None => acc = Some(pdom[s as usize].clone()),
+                    Some(a) => {
+                        a.intersect_with(&pdom[s as usize]);
+                    }
+                }
+            }
+            let mut new = acc.unwrap_or_else(|| BitSet::empty(n));
+            new.insert(v);
+            if new != pdom[v as usize] {
+                pdom[v as usize] = new;
+                changed = true;
+            }
+        }
+    }
+    pdom
+}
+
+/// Memoized whole-callee line summary: every line reachable from
+/// `entry_idx` walking intraprocedurally, with nested calls spliced in as
+/// their own summaries. Cycles (recursion) are broken by seeding the memo
+/// with an empty set.
+struct Summaries<'a> {
+    cfg: &'a Cfg,
+    memo: HashMap<u32, Vec<u64>>,
+}
+
+impl<'a> Summaries<'a> {
+    fn new(cfg: &'a Cfg) -> Summaries<'a> {
+        Summaries { cfg, memo: HashMap::new() }
+    }
+
+    fn lines(&mut self, entry_idx: u32) -> Vec<u64> {
+        if let Some(cached) = self.memo.get(&entry_idx) {
+            return cached.clone();
+        }
+        self.memo.insert(entry_idx, Vec::new());
+        let mut lines = walk_lines(self.cfg, entry_idx, None, self);
+        lines.sort_unstable();
+        lines.dedup();
+        self.memo.insert(entry_idx, lines.clone());
+        lines
+    }
+}
+
+/// Lines fetched walking from `start` (inclusive), stopping at (and
+/// excluding) any node in `stops`, splicing callee summaries at call
+/// sites.
+fn walk_lines(cfg: &Cfg, start: u32, stops: Option<&BitSet>, sums: &mut Summaries) -> Vec<u64> {
+    let mut lines = Vec::new();
+    let mut seen = vec![false; cfg.len() as usize + 1];
+    let mut stack = vec![start];
+    let mut succs = Vec::new();
+    while let Some(i) = stack.pop() {
+        if i >= cfg.len() || seen[i as usize] {
+            continue;
+        }
+        if let Some(stops) = stops {
+            if stops.contains(i) {
+                continue;
+            }
+        }
+        seen[i as usize] = true;
+        let d = cfg.node(i);
+        lines.push(d.line);
+        match d.instr {
+            Instr::Call { .. } if d.target != smack_uarch::decoded::NO_IDX => {
+                lines.extend(sums.lines(d.target));
+            }
+            Instr::CallReg { .. } => {
+                for &t in cfg.dynamic_targets() {
+                    lines.extend(sums.lines(t));
+                }
+            }
+            _ => {}
+        }
+        cfg.walk_succs(i, &mut succs);
+        stack.extend_from_slice(&succs);
+    }
+    lines.sort_unstable();
+    lines.dedup();
+    lines
+}
+
+fn symmetric_difference(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    out.extend(a.iter().filter(|l| b.binary_search(l).is_err()));
+    out.extend(b.iter().filter(|l| a.binary_search(l).is_err()));
+    out
+}
+
+/// Compute the leaky-line set from the taint classification.
+pub fn summarize(cfg: &Cfg, taint: &TaintSummary) -> LeakageSummary {
+    let mut leaky: Vec<u64> = Vec::new();
+    let mut sums = Summaries::new(cfg);
+    let pdom = if taint.tainted_branches.is_empty() { None } else { Some(postdominators(cfg)) };
+
+    for &b in &taint.tainted_branches {
+        let d = cfg.node(b);
+        // Stop each arm's walk at the branch's postdominators — minus the
+        // branch itself, which trivially postdominates nothing useful.
+        let mut stops = pdom.as_ref().expect("computed above")[b as usize].clone();
+        let mut without_self = BitSet::empty(cfg.len() as usize + 1);
+        without_self.insert(b);
+        for (w, m) in stops.words.iter_mut().zip(without_self.words.iter()) {
+            *w &= !*m;
+        }
+        let fall = if d.fall == smack_uarch::decoded::NO_IDX { cfg.exit() } else { d.fall };
+        let tgt = if d.target == smack_uarch::decoded::NO_IDX { cfg.exit() } else { d.target };
+        let a = walk_lines(cfg, fall, Some(&stops), &mut sums);
+        let t = walk_lines(cfg, tgt, Some(&stops), &mut sums);
+        leaky.extend(symmetric_difference(&a, &t));
+    }
+
+    for &c in &taint.tainted_transfers {
+        let targets = cfg.dynamic_targets();
+        if targets.len() < 2 {
+            continue; // one possible target: nothing secret-selective
+        }
+        let per_target: Vec<Vec<u64>> = targets.iter().map(|t| sums.lines(*t)).collect();
+        let mut union: Vec<u64> = per_target.iter().flatten().copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        let shared: Vec<u64> = union
+            .iter()
+            .copied()
+            .filter(|l| per_target.iter().all(|s| s.binary_search(l).is_ok()))
+            .collect();
+        leaky.extend(union.iter().filter(|l| shared.binary_search(l).is_err()));
+        let _ = c;
+    }
+
+    leaky.sort_unstable();
+    leaky.dedup();
+    LeakageSummary {
+        leaky_lines: leaky,
+        tainted_branches: taint.tainted_branches.iter().map(|i| cfg.node(*i).pc).collect(),
+        tainted_transfers: taint.tainted_transfers.iter().map(|i| cfg.node(*i).pc).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taint::propagate;
+    use crate::{AddrRange, SecretSpec};
+    use smack_uarch::asm::Assembler;
+    use smack_uarch::isa::{MemRef, Reg};
+    use smack_uarch::Addr;
+
+    fn summarize_program(
+        build: impl FnOnce(&mut Assembler),
+        entry: u64,
+        spec: &SecretSpec,
+    ) -> (LeakageSummary, Cfg) {
+        let mut a = Assembler::new(entry);
+        build(&mut a);
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p, entry, spec);
+        let taint = propagate(&cfg, spec);
+        let s = summarize(&cfg, &taint);
+        (s, cfg)
+    }
+
+    #[test]
+    fn guarded_call_leaks_the_callee_lines() {
+        // if secret { far_routine() } — the classic square-and-multiply
+        // shape; the far routine's line must be leaky.
+        let spec =
+            SecretSpec { tainted_memory: vec![AddrRange::span(0x9000, 64)], ..SecretSpec::none() };
+        let far = 0x1000 + 0x800; // a line of its own
+        let (s, _) = summarize_program(
+            |a| {
+                a.load_byte(Reg::R6, MemRef::base(Reg::R5))
+                    .cmp_imm(Reg::R6, 0)
+                    .je("skip")
+                    .call("far")
+                    .label("skip")
+                    .halt();
+                a.org(far).label("far").nop().ret();
+            },
+            0x1000,
+            &spec,
+        );
+        assert!(!s.leaky_lines.is_empty());
+        assert!(s.leaky_lines.contains(&Addr(far).line().0), "the guarded callee line leaks");
+        assert_eq!(s.tainted_branches.len(), 1);
+    }
+
+    #[test]
+    fn balanced_branch_with_shared_lines_leaks_nothing_extra() {
+        // Both arms stay on the same cache line and reconverge: the
+        // symmetric difference of the arm walks is empty.
+        let spec = SecretSpec { tainted_regs: vec![Reg::R1], ..SecretSpec::none() };
+        let (s, _) = summarize_program(
+            |a| {
+                a.cmp_imm(Reg::R1, 0)
+                    .je("else_")
+                    .add_imm(Reg::R2, 1)
+                    .jmp("join")
+                    .label("else_")
+                    .add_imm(Reg::R2, 2)
+                    .label("join")
+                    .halt();
+            },
+            0x1000,
+            &spec,
+        );
+        assert_eq!(s.tainted_branches.len(), 1, "the branch is secret-dependent");
+        assert!(s.leaky_lines.is_empty(), "but no *line* distinguishes the arms");
+    }
+
+    #[test]
+    fn untainted_program_has_no_leaky_lines() {
+        let (s, _) = summarize_program(
+            |a| {
+                a.load_byte(Reg::R6, MemRef::base(Reg::R5))
+                    .cmp_imm(Reg::R6, 0)
+                    .je("skip")
+                    .call("far")
+                    .label("skip")
+                    .halt();
+                a.org(0x1000 + 0x400).label("far").nop().ret();
+            },
+            0x1000,
+            &SecretSpec::none(),
+        );
+        assert!(s.leaky_lines.is_empty());
+        assert!(s.tainted_branches.is_empty());
+    }
+
+    #[test]
+    fn tainted_indirect_call_leaks_nonshared_target_lines() {
+        // Two candidate targets on distinct lines, selected by a secret.
+        let spec = SecretSpec { tainted_regs: vec![Reg::R3], ..SecretSpec::none() };
+        let (s, cfg) = summarize_program(
+            |a| {
+                a.mov_label(Reg::R8, "t0").mov_label(Reg::R9, "t1").call_reg(Reg::R3).halt();
+                a.org(0x1000 + 0x440).label("t0").nop().ret();
+                a.org(0x1000 + 0x880).label("t1").nop().ret();
+            },
+            0x1000,
+            &spec,
+        );
+        assert_eq!(cfg.dynamic_targets().len(), 2);
+        assert_eq!(s.tainted_transfers.len(), 1);
+        assert_eq!(s.leaky_lines.len(), 2, "each candidate's own line leaks");
+    }
+
+    #[test]
+    fn loops_reconverge_through_postdominators() {
+        // The modexp driver shape: a loop whose body conditionally calls a
+        // routine. The routine's line must leak; the loop head must not
+        // prevent convergence.
+        let spec = SecretSpec {
+            tainted_memory: vec![AddrRange::span(0x9000, 4096)],
+            ..SecretSpec::none()
+        };
+        let far = 0x2000u64 + 0xc0;
+        let (s, _) = summarize_program(
+            |a| {
+                a.mov_imm(Reg::R4, 8)
+                    .label("loop")
+                    .cmp_imm(Reg::R4, 0)
+                    .je("done")
+                    .load_byte(Reg::R6, MemRef::base(Reg::R5))
+                    .cmp_imm(Reg::R6, 0)
+                    .je("skip")
+                    .call("far")
+                    .label("skip")
+                    .add_imm(Reg::R4, -1)
+                    .jmp("loop")
+                    .label("done")
+                    .halt();
+                a.org(far).label("far").nop().ret();
+            },
+            0x2000,
+            &spec,
+        );
+        assert_eq!(s.tainted_branches.len(), 1);
+        assert!(s.leaky_lines.contains(&Addr(far).line().0));
+    }
+}

@@ -1,0 +1,395 @@
+//! Secret-taint dataflow over `Instr` def/use sets.
+//!
+//! A forward worklist fixpoint over the [flow view](crate::cfg) of the
+//! CFG. The abstract state per node entry is:
+//!
+//! - a 16-bit register taint mask,
+//! - a flags-taint bit (`cmp` on a tainted operand taints the flags; a
+//!   `jcc` consuming tainted flags is a secret-dependent branch),
+//! - a per-register constant lattice (`Some(v)` = provably `v` on every
+//!   path, `None` = unknown) used only to resolve load addresses, so a
+//!   load of *public* memory does not pick up taint merely because some
+//!   other range is secret.
+//!
+//! Memory is summarized, not tracked cell-by-cell: the declared
+//! [`SecretSpec::tainted_memory`] ranges are secret; a load whose address
+//! may fall in a secret range (unknown addresses *may*) taints its
+//! destination. Storing a tainted register anywhere raises a global
+//! `stored_secret` flag, after which every load is tainted — a coarse but
+//! sound escape hatch none of the shipped victims trigger.
+//!
+//! The pass is a may-analysis: branch directions are never resolved, both
+//! arms of every branch stay reachable, and joins are bitwise OR (taint) /
+//! equality (constants). Verdicts are therefore stable under any
+//! semantics-preserving re-decode of the same instruction stream.
+
+use smack_uarch::isa::{Instr, MemRef, MemSize, Reg};
+
+use crate::cfg::Cfg;
+use crate::SecretSpec;
+
+/// Abstract state at a node entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct State {
+    taint: u16,
+    flags_tainted: bool,
+    consts: [Option<u64>; Reg::COUNT],
+}
+
+impl State {
+    fn join(&mut self, other: &State) -> bool {
+        let mut changed = false;
+        let t = self.taint | other.taint;
+        if t != self.taint {
+            self.taint = t;
+            changed = true;
+        }
+        if other.flags_tainted && !self.flags_tainted {
+            self.flags_tainted = true;
+            changed = true;
+        }
+        for (a, b) in self.consts.iter_mut().zip(other.consts.iter()) {
+            if *a != *b && a.is_some() {
+                *a = None;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn tainted(&self, r: Reg) -> bool {
+        self.taint & (1 << r.index()) != 0
+    }
+
+    fn set_taint(&mut self, r: Reg, on: bool) {
+        if on {
+            self.taint |= 1 << r.index();
+        } else {
+            self.taint &= !(1 << r.index());
+        }
+    }
+}
+
+/// What the fixpoint concluded.
+#[derive(Clone, Debug)]
+pub struct TaintSummary {
+    /// Nodes holding a `jcc` whose flags are tainted.
+    pub tainted_branches: Vec<u32>,
+    /// Nodes holding a `call *%reg` whose target register is tainted.
+    pub tainted_transfers: Vec<u32>,
+    /// Whether a tainted value was stored to memory (degrades load
+    /// precision to "everything may be secret").
+    pub stored_secret: bool,
+}
+
+fn mem_addr(consts: &[Option<u64>; Reg::COUNT], m: MemRef) -> Option<u64> {
+    consts[m.base.index()].map(|b| b.wrapping_add(m.disp as u64))
+}
+
+fn load_is_tainted(spec: &SecretSpec, stored_secret: bool, addr: Option<u64>, size: u64) -> bool {
+    if stored_secret {
+        return true;
+    }
+    match addr {
+        Some(a) => spec.tainted_memory.iter().any(|r| r.overlaps(a, size)),
+        // Unknown address: may read any tainted range, if there is one.
+        None => !spec.tainted_memory.is_empty(),
+    }
+}
+
+/// Run the fixpoint. Returns the per-transfer classification.
+pub fn propagate(cfg: &Cfg, spec: &SecretSpec) -> TaintSummary {
+    let n = cfg.len() as usize;
+    let mut entry_state = State { taint: 0, flags_tainted: false, consts: [None; Reg::COUNT] };
+    for r in &spec.tainted_regs {
+        entry_state.set_taint(*r, true);
+    }
+
+    // `stored_secret` is global and monotone; when it flips, the whole
+    // fixpoint restarts with the degraded load rule (at most two rounds).
+    let mut stored_secret = false;
+    let mut states: Vec<Option<State>>;
+    loop {
+        states = vec![None; n];
+        let mut flipped = false;
+        if cfg.entry() < cfg.len() {
+            states[cfg.entry() as usize] = Some(entry_state.clone());
+        }
+        let mut work: Vec<u32> = vec![cfg.entry()];
+        let mut succs = Vec::new();
+        while let Some(i) = work.pop() {
+            if i >= cfg.len() {
+                continue;
+            }
+            let Some(mut s) = states[i as usize].clone() else { continue };
+            transfer(cfg.node(i).instr, &mut s, spec, &mut stored_secret, &mut flipped);
+            cfg.flow_succs(i, &mut succs);
+            for &j in &succs {
+                if j >= cfg.len() {
+                    continue;
+                }
+                let slot = &mut states[j as usize];
+                let changed = match slot {
+                    Some(t) => t.join(&s),
+                    None => {
+                        *slot = Some(s.clone());
+                        true
+                    }
+                };
+                if changed {
+                    work.push(j);
+                }
+            }
+        }
+        if !flipped {
+            break;
+        }
+    }
+
+    let mut tainted_branches = Vec::new();
+    let mut tainted_transfers = Vec::new();
+    for i in 0..cfg.len() {
+        let Some(s) = &states[i as usize] else { continue };
+        match cfg.node(i).instr {
+            Instr::Jcc { .. } if s.flags_tainted => tainted_branches.push(i),
+            Instr::CallReg { target } if s.tainted(target) => tainted_transfers.push(i),
+            _ => {}
+        }
+    }
+    TaintSummary { tainted_branches, tainted_transfers, stored_secret }
+}
+
+/// Apply one instruction's def/use effect to the state.
+fn transfer(
+    instr: Instr,
+    s: &mut State,
+    spec: &SecretSpec,
+    stored_secret: &mut bool,
+    flipped: &mut bool,
+) {
+    let size = |sz: MemSize| match sz {
+        MemSize::Byte => 1u64,
+        MemSize::Quad => 8,
+    };
+    match instr {
+        Instr::MovImm { dst, imm } => {
+            s.set_taint(dst, false);
+            s.consts[dst.index()] = Some(imm);
+        }
+        Instr::Mov { dst, src } => {
+            let t = s.tainted(src);
+            s.set_taint(dst, t);
+            s.consts[dst.index()] = s.consts[src.index()];
+        }
+        Instr::Load { dst, mem, size: sz } => {
+            let addr = mem_addr(&s.consts, mem);
+            let t = load_is_tainted(spec, *stored_secret, addr, size(sz));
+            s.set_taint(dst, t);
+            s.consts[dst.index()] = None;
+        }
+        Instr::Store { src, mem: _, size: _ } => {
+            if s.tainted(src) && !*stored_secret {
+                *stored_secret = true;
+                *flipped = true;
+            }
+        }
+        Instr::StoreImm { .. } | Instr::LockInc { .. } => {}
+        Instr::Add { dst, src }
+        | Instr::Sub { dst, src }
+        | Instr::Mul { dst, src }
+        | Instr::And { dst, src }
+        | Instr::Or { dst, src } => {
+            let t = s.tainted(dst) || s.tainted(src);
+            s.set_taint(dst, t);
+            s.consts[dst.index()] = match (s.consts[dst.index()], s.consts[src.index()]) {
+                (Some(a), Some(b)) => Some(match instr {
+                    Instr::Add { .. } => a.wrapping_add(b),
+                    Instr::Sub { .. } => a.wrapping_sub(b),
+                    Instr::Mul { .. } => a.wrapping_mul(b),
+                    Instr::And { .. } => a & b,
+                    _ => a | b,
+                }),
+                _ => None,
+            };
+        }
+        Instr::Xor { dst, src } => {
+            if dst == src {
+                // The zeroing idiom: the result is public 0.
+                s.set_taint(dst, false);
+                s.consts[dst.index()] = Some(0);
+            } else {
+                let t = s.tainted(dst) || s.tainted(src);
+                s.set_taint(dst, t);
+                s.consts[dst.index()] = match (s.consts[dst.index()], s.consts[src.index()]) {
+                    (Some(a), Some(b)) => Some(a ^ b),
+                    _ => None,
+                };
+            }
+        }
+        Instr::AddImm { dst, imm } => {
+            s.consts[dst.index()] = s.consts[dst.index()].map(|v| v.wrapping_add(imm as u64));
+        }
+        Instr::ShlImm { dst, amount } => {
+            s.consts[dst.index()] = s.consts[dst.index()].map(|v| v.wrapping_shl(amount as u32));
+        }
+        Instr::ShrImm { dst, amount } => {
+            s.consts[dst.index()] = s.consts[dst.index()].map(|v| v.wrapping_shr(amount as u32));
+        }
+        Instr::Cmp { a, b } => {
+            s.flags_tainted = s.tainted(a) || s.tainted(b);
+        }
+        Instr::CmpImm { a, .. } => {
+            s.flags_tainted = s.tainted(a);
+        }
+        Instr::Rdtsc { dst } => {
+            s.set_taint(dst, false);
+            s.consts[dst.index()] = None;
+        }
+        // Control transfers and the remaining no-register-effect
+        // instructions (fences, probes, delay, nop, halt) leave the
+        // abstract state untouched.
+        Instr::Nop
+        | Instr::Halt
+        | Instr::Jmp { .. }
+        | Instr::Jcc { .. }
+        | Instr::Call { .. }
+        | Instr::CallReg { .. }
+        | Instr::Ret
+        | Instr::Mfence
+        | Instr::Lfence
+        | Instr::Clflush { .. }
+        | Instr::Clflushopt { .. }
+        | Instr::Clwb { .. }
+        | Instr::PrefetchT0 { .. }
+        | Instr::PrefetchNta { .. }
+        | Instr::Delay { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AddrRange;
+    use smack_uarch::asm::Assembler;
+
+    fn analyze_taint(
+        build: impl FnOnce(&mut Assembler),
+        entry: u64,
+        spec: &SecretSpec,
+    ) -> TaintSummary {
+        let mut a = Assembler::new(entry);
+        build(&mut a);
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p, entry, spec);
+        propagate(&cfg, spec)
+    }
+
+    #[test]
+    fn branch_on_secret_load_is_tainted() {
+        let spec =
+            SecretSpec { tainted_memory: vec![AddrRange::span(0x9000, 64)], ..SecretSpec::none() };
+        let t = analyze_taint(
+            |a| {
+                a.load_byte(Reg::R6, MemRef::base(Reg::R5)) // unknown base: may be secret
+                    .cmp_imm(Reg::R6, 0)
+                    .je("skip")
+                    .nop()
+                    .label("skip")
+                    .halt();
+            },
+            0x100,
+            &spec,
+        );
+        assert_eq!(t.tainted_branches.len(), 1);
+        assert!(t.tainted_transfers.is_empty());
+    }
+
+    #[test]
+    fn load_of_known_public_address_stays_clean() {
+        let spec =
+            SecretSpec { tainted_memory: vec![AddrRange::span(0x9000, 64)], ..SecretSpec::none() };
+        let t = analyze_taint(
+            |a| {
+                a.mov_imm(Reg::R5, 0x4000) // provably outside the secret range
+                    .load_byte(Reg::R6, MemRef::base(Reg::R5))
+                    .cmp_imm(Reg::R6, 0)
+                    .je("skip")
+                    .nop()
+                    .label("skip")
+                    .halt();
+            },
+            0x100,
+            &spec,
+        );
+        assert!(t.tainted_branches.is_empty(), "constant propagation resolves the address");
+    }
+
+    #[test]
+    fn no_declared_secrets_means_no_taint() {
+        let t = analyze_taint(
+            |a| {
+                a.load_byte(Reg::R6, MemRef::base(Reg::R5))
+                    .cmp_imm(Reg::R6, 0)
+                    .je("skip")
+                    .nop()
+                    .label("skip")
+                    .halt();
+            },
+            0x100,
+            &SecretSpec::none(),
+        );
+        assert!(t.tainted_branches.is_empty());
+    }
+
+    #[test]
+    fn taint_flows_through_alu_into_indirect_call() {
+        let spec =
+            SecretSpec { tainted_memory: vec![AddrRange::span(0x9000, 64)], ..SecretSpec::none() };
+        let t = analyze_taint(
+            |a| {
+                a.load_byte(Reg::R3, MemRef::base(Reg::R5))
+                    .shl_imm(Reg::R3, 6)
+                    .add_imm(Reg::R3, 0x5000)
+                    .call_reg(Reg::R3)
+                    .halt();
+            },
+            0x100,
+            &spec,
+        );
+        assert_eq!(t.tainted_transfers.len(), 1);
+    }
+
+    #[test]
+    fn storing_a_secret_degrades_all_loads() {
+        let spec = SecretSpec { tainted_regs: vec![Reg::R1], ..SecretSpec::none() };
+        let t = analyze_taint(
+            |a| {
+                a.store(Reg::R1, MemRef::base(Reg::R2)) // secret escapes to memory
+                    .mov_imm(Reg::R5, 0x4000)
+                    .load_byte(Reg::R6, MemRef::base(Reg::R5))
+                    .cmp_imm(Reg::R6, 0)
+                    .je("skip")
+                    .nop()
+                    .label("skip")
+                    .halt();
+            },
+            0x100,
+            &spec,
+        );
+        assert!(t.stored_secret);
+        assert_eq!(t.tainted_branches.len(), 1, "even a known address may now be secret");
+    }
+
+    #[test]
+    fn xor_zeroing_clears_taint() {
+        let spec = SecretSpec { tainted_regs: vec![Reg::R1], ..SecretSpec::none() };
+        let t = analyze_taint(
+            |a| {
+                a.xor(Reg::R1, Reg::R1).cmp_imm(Reg::R1, 0).je("skip").nop().label("skip").halt();
+            },
+            0x100,
+            &spec,
+        );
+        assert!(t.tainted_branches.is_empty());
+    }
+}

@@ -22,7 +22,7 @@ use smack::channel::{random_payload, run_channel_in, ChannelSpec};
 use smack::session::{Scenario, Sessions};
 use smack_uarch::asm::Assembler;
 use smack_uarch::isa::Reg;
-use smack_uarch::{Machine, MicroArch, ProbeKind, ThreadId};
+use smack_uarch::{Machine, MicroArch, PerfEvent, ProbeKind, ThreadId};
 
 /// A victim-shaped loop: `body` ALU instructions closed by
 /// `add/cmp/jne`, iterated `iters` times, then `halt`. Mirrors the modexp
@@ -109,6 +109,64 @@ fn time_trial(sessions: &Sessions, bits: usize, reps: usize) -> f64 {
     best
 }
 
+const PATCH_CODE: u64 = 0x50_0000;
+const PATCH_HELPER: u64 = 0x50_1000;
+
+/// The SMC patch victim: a call loop around a helper routine that the
+/// patch variants rewrite. Variant 0 is the base (`add/nop/ret`),
+/// variant 1 the same-length `xor` swap (re-decodes in place), variant 2
+/// a boundary-moving rewrite (forces the full-recompile fallback that
+/// `SimPatchRecompiles` counts).
+fn patch_victim() -> smack_uarch::asm::Program {
+    let mut a = Assembler::new(PATCH_CODE);
+    a.mov_imm(Reg::R0, 0)
+        .label("loop")
+        .call("helper")
+        .add_imm(Reg::R0, 1)
+        .cmp_imm(Reg::R0, 64)
+        .jne("loop")
+        .halt();
+    a.org(PATCH_HELPER).label("helper").add(Reg::R1, Reg::R2).nop().ret();
+    a.assemble().expect("patch victim assembles")
+}
+
+fn helper_variant(kind: u8) -> smack_uarch::asm::Program {
+    let mut a = Assembler::new(PATCH_HELPER);
+    match kind {
+        0 => a.label("helper").add(Reg::R1, Reg::R2).nop().ret(),
+        1 => a.label("helper").xor(Reg::R1, Reg::R2).nop().ret(),
+        _ => a.label("helper").add_imm(Reg::R1, 7).ret(),
+    };
+    a.assemble().expect("helper variant assembles")
+}
+
+/// Best-of-`reps` cost of one `Machine::patch_program` call alternating
+/// between helper variants `a` and `b`, plus the `SimPatchRecompiles`
+/// delta per patch — 0.0 when the rewrite re-decodes in place, ≥ 1.0 when
+/// every patch falls back to a full recompile.
+fn time_patches(a_kind: u8, b_kind: u8, n: u64, reps: usize) -> (f64, f64) {
+    let base = patch_victim();
+    let (pa, pb) = (helper_variant(a_kind), helper_variant(b_kind));
+    let mut best = f64::MAX;
+    let mut per_patch = 0.0;
+    for _ in 0..reps {
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        m.load_program(&base);
+        m.start_program(ThreadId::T0, base.entry(), &[]);
+        m.run_burst(ThreadId::T0, 16).expect("warm-up runs");
+        let before = m.counters(ThreadId::T0).read(PerfEvent::SimPatchRecompiles);
+        let t = Instant::now();
+        for _ in 0..n {
+            m.patch_program(&pa);
+            m.patch_program(&pb);
+        }
+        best = best.min(t.elapsed().as_secs_f64() / (2 * n) as f64);
+        let delta = m.counters(ThreadId::T0).read(PerfEvent::SimPatchRecompiles) - before;
+        per_patch = delta as f64 / (2 * n) as f64;
+    }
+    (best, per_patch)
+}
+
 /// Time one quick repro (`all` into a temp dir), returning wall
 /// milliseconds, or `None` when the release binary is missing. A separate
 /// process keeps the measurement honest: it includes process start-up,
@@ -168,6 +226,18 @@ fn main() {
         trial * 1e3
     );
 
+    // SMC patch cost: the in-place re-decode vs the full-recompile
+    // fallback, with the recompile rate from the perf counter proving
+    // which path each variant actually hit.
+    let (inplace_ns, inplace_rate) = time_patches(0, 1, 1000, reps);
+    let (recompile_ns, recompile_rate) = time_patches(0, 2, 250, reps);
+    println!(
+        "engine/patch: in-place {:.0} ns/patch ({inplace_rate:.1} recompiles/patch)   \
+         boundary-moving {:.0} ns/patch ({recompile_rate:.1} recompiles/patch)",
+        inplace_ns * 1e9,
+        recompile_ns * 1e9,
+    );
+
     // One quick repro wall-time sample: the end-to-end number the
     // superblock work is meant to move. Skipped (null) when the repro
     // binary has not been built.
@@ -189,7 +259,13 @@ fn main() {
          \"speedup\": {:.2},\n  \
          \"quick_all_wall_ms\": {},\n  \
          \"trials_per_sec\": {trials_per_sec:.1},\n  \
-         \"trial_payload_bits\": {bits},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+         \"trial_payload_bits\": {bits},\n  \
+         \"patch_inplace_ns\": {:.1},\n  \
+         \"patch_recompile_ns\": {:.1},\n  \
+         \"patch_recompiles_per_boundary_patch\": {recompile_rate:.2},\n  \
+         \"sizes\": [\n{}\n  ]\n}}\n",
+        inplace_ns * 1e9,
+        recompile_ns * 1e9,
         sb_ips / fast_ips,
         fast_ips / ref_ips,
         quick_all_ms.map_or("null".to_string(), |ms| format!("{ms:.1}")),

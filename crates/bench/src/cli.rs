@@ -135,7 +135,9 @@ fn resolve(names: &[String], default: Selection) -> Result<Vec<&'static Experime
         return Ok(match default {
             Selection::Paper => registry::group(Group::Paper),
             Selection::Ablations => registry::group(Group::Ablation),
-            Selection::Named(name) => vec![registry::find(name).expect("shim names registered")],
+            Selection::Named(name) => vec![registry::find(name).ok_or_else(|| {
+                format!("this binary's default experiment `{name}` is not registered")
+            })?],
         });
     }
     names
@@ -179,10 +181,10 @@ fn calib_dir(out_root: &std::path::Path) -> PathBuf {
 /// a chatty full-mode child never blocks on a pipe while the others run.
 fn run_sharded(
     args: &Args,
+    n: usize,
     selection: &[&Experiment],
     out_root: &std::path::Path,
 ) -> Result<(), String> {
-    let n = args.shards.expect("caller checked");
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
     let calib = calib_dir(out_root);
     let mut children = Vec::new();
@@ -278,7 +280,7 @@ fn run_inner(argv: &[String], default: Selection) -> Result<(), String> {
         // One shard of one is just the unsharded run — no child process,
         // no tagged CSVs, nothing to merge.
         Some(1) | None => {}
-        Some(_) => return run_sharded(&args, &selection, &out_root),
+        Some(n) => return run_sharded(&args, n, &selection, &out_root),
     }
 
     // Persistent calibration cache: attach before the first experiment so
@@ -327,13 +329,15 @@ mod tests {
 
     #[test]
     fn parses_flags_in_both_spellings() {
-        let a = parse(&strings(&["fig5", "--full", "--threads", "4", "--shard=2/4"])).unwrap();
+        let a = parse(&strings(&["fig5", "--full", "--threads", "4", "--shard=2/4"]))
+            .expect("--full, --threads N, and --shard K/N should all parse");
         assert_eq!(a.names, vec!["fig5"]);
         assert_eq!(a.mode, Mode::Full);
         assert_eq!(a.threads, Some(4));
         assert_eq!(a.shard, Shard::new(1, 4));
 
-        let b = parse(&strings(&["--threads=8", "--out", "x/y", "--tau-jitter=32"])).unwrap();
+        let b = parse(&strings(&["--threads=8", "--out", "x/y", "--tau-jitter=32"]))
+            .expect("--threads=N, --out DIR, and --tau-jitter=N should all parse");
         assert_eq!(b.threads, Some(8));
         assert_eq!(b.out, Some(PathBuf::from("x/y")));
         assert_eq!(b.tau_jitter, 32);
@@ -352,13 +356,17 @@ mod tests {
 
     #[test]
     fn resolves_defaults_and_names() {
-        let paper = resolve(&[], Selection::Paper).unwrap();
+        let paper =
+            resolve(&[], Selection::Paper).expect("no names + Paper default should resolve");
         assert_eq!(paper.len(), 11);
-        let abl = resolve(&[], Selection::Ablations).unwrap();
+        let abl = resolve(&[], Selection::Ablations)
+            .expect("no names + Ablations default should resolve");
         assert!(abl.len() >= 7);
-        let named = resolve(&[], Selection::Named("fig5")).unwrap();
+        let named = resolve(&[], Selection::Named("fig5"))
+            .expect("the registered default experiment `fig5` should resolve");
         assert_eq!(named[0].name, "fig5");
-        let picked = resolve(&strings(&["table2", "fig5"]), Selection::Paper).unwrap();
+        let picked = resolve(&strings(&["table2", "fig5"]), Selection::Paper)
+            .expect("explicit names `table2 fig5` should resolve");
         assert_eq!(picked.iter().map(|e| e.name).collect::<Vec<_>>(), ["table2", "fig5"]);
         assert!(resolve(&strings(&["nope"]), Selection::Paper).is_err());
     }

@@ -144,6 +144,10 @@ fn table4_units(_: Mode) -> usize {
     experiments::TABLE4_CELLS
 }
 
+fn analyze_units(_: Mode) -> usize {
+    experiments::ANALYZE_UNITS
+}
+
 /// Every experiment, in the order `all` runs the paper artifacts.
 pub fn registry() -> &'static [Experiment] {
     static REGISTRY: &[Experiment] = &[
@@ -264,6 +268,16 @@ pub fn registry() -> &'static [Experiment] {
             csvs: &["fingerprint"],
             units: one_unit,
             run: experiments::fingerprint,
+        },
+        Experiment {
+            name: "analyze",
+            title: "Static leakage analyzer — taint verdicts vs measured recovery",
+            group: Group::CaseStudy,
+            csvs: &["analyze"],
+            units: analyze_units,
+            run: |ctx| {
+                experiments::analyze(ctx);
+            },
         },
         Experiment {
             name: "ablation_smc_penalty",

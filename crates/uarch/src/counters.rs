@@ -56,11 +56,21 @@ pub enum PerfEvent {
     AmdIcLinesInvalidated,
     /// `CYCLES_WITH_FILL_PENDING_FROM_L2.L2_FILL_BUSY`.
     AmdL2FillBusy,
+
+    // ---- simulator-internal ----------------------------------------------
+    /// Full `DecodedProgram` recompiles taken by [`patch_code`] when the
+    /// in-place [`patch`] fast path refuses a write (unmapped pc or changed
+    /// instruction length). Not a hardware event: it makes the engine's
+    /// silent slow path visible in the counter bank and the engine bench.
+    ///
+    /// [`patch_code`]: crate::engine::Engine::patch_code
+    /// [`patch`]: crate::decoded::DecodedProgram::patch
+    SimPatchRecompiles,
 }
 
 impl PerfEvent {
     /// Every modeled event, in a stable order.
-    pub const ALL: [PerfEvent; 18] = [
+    pub const ALL: [PerfEvent; 19] = [
         PerfEvent::InstRetired,
         PerfEvent::BrInstRetired,
         PerfEvent::BrMispRetired,
@@ -79,6 +89,7 @@ impl PerfEvent {
         PerfEvent::AmdPipeStallBackPressure,
         PerfEvent::AmdIcLinesInvalidated,
         PerfEvent::AmdL2FillBusy,
+        PerfEvent::SimPatchRecompiles,
     ];
 
     fn slot(self) -> usize {
@@ -111,6 +122,7 @@ impl PerfEvent {
                 "INSTRUCTION_CACHE_LINES_INVALIDATED.FILL_INVALIDATED"
             }
             PerfEvent::AmdL2FillBusy => "CYCLES_WITH_FILL_PENDING_FROM_L2.L2_FILL_BUSY",
+            PerfEvent::SimPatchRecompiles => "SIM.PATCH_RECOMPILES",
         }
     }
 }

@@ -286,6 +286,12 @@ pub struct Engine {
     bpu: BranchPredictor,
     noise: NoiseSource,
     tracer: Tracer,
+    /// When enabled, every line-granular instruction fetch (architectural
+    /// *and* speculative wrong-path) appends its line address here. Used by
+    /// the static analyzer's soundness tests to compare the observed fetch
+    /// footprint against the statically predicted one. `None` (the default)
+    /// keeps the hot fetch path branch-predictable and allocation-free.
+    fetch_log: Option<Vec<u64>>,
 }
 
 impl Engine {
@@ -307,6 +313,7 @@ impl Engine {
             bpu: BranchPredictor::new(4096),
             noise: NoiseSource::new(noise, seed),
             tracer: Tracer::new(),
+            fetch_log: None,
             profile,
         }
     }
@@ -338,6 +345,22 @@ impl Engine {
         self.bpu.reset();
         self.noise = NoiseSource::new(noise, seed);
         self.tracer.disable();
+        self.fetch_log = None;
+    }
+
+    /// Start (or stop) recording every instruction-fetch line address.
+    /// Enabling clears any previously recorded log.
+    pub fn set_fetch_log(&mut self, on: bool) {
+        self.fetch_log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Take the recorded fetch-line log, leaving recording enabled with an
+    /// empty log (no-op empty result when recording is off).
+    pub fn take_fetch_log(&mut self) -> Vec<u64> {
+        match &mut self.fetch_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
     }
 
     /// Merge a program's code into the core's address space and recompile
@@ -370,6 +393,9 @@ impl Engine {
         self.code.overwrite(prog);
         let in_place = prog.iter().all(|(pc, instr)| self.decoded.patch(pc, *instr));
         if !in_place {
+            // Charge the recompile to T0's bank: the event is core-wide, so
+            // attributing it to one thread keeps `counters_total` exact.
+            self.threads[0].counters.add(PerfEvent::SimPatchRecompiles, 1);
             self.decoded = DecodedProgram::compile(&self.code);
             for t in &mut self.threads {
                 t.pc_idx = NO_IDX;
@@ -1023,6 +1049,9 @@ impl Engine {
     /// current instruction. Callers have already checked `last_fetch_line`,
     /// so this only runs on an actual line switch.
     fn fetch(&mut self, tid: ThreadId, line: u64) {
+        if let Some(log) = &mut self.fetch_log {
+            log.push(line);
+        }
         let line = Addr(line);
         let mut cost: u64 = 0;
         if !self.itlb[tid.index()].access(line) {

@@ -306,6 +306,18 @@ impl Machine {
         self.engine.tracer_mut().take()
     }
 
+    /// Start (or stop) recording the line address of every instruction
+    /// fetch — architectural and speculative wrong-path alike. Enabling
+    /// clears any previously recorded log.
+    pub fn set_fetch_log(&mut self, on: bool) {
+        self.engine.set_fetch_log(on);
+    }
+
+    /// Take the recorded fetch-line log (empty when recording is off).
+    pub fn take_fetch_log(&mut self) -> Vec<u64> {
+        self.engine.take_fetch_log()
+    }
+
     /// Park a thread back to idle (stop a victim).
     pub fn park(&mut self, tid: ThreadId) {
         self.engine.park(tid);

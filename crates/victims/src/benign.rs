@@ -114,6 +114,12 @@ impl BenignWorkload {
         self == BenignWorkload::Amg
     }
 
+    /// Benign workloads process no secrets: the analyzer should prove them
+    /// constant-footprint with no hints at all.
+    pub fn secret_spec(self) -> smack_analysis::SecretSpec {
+        smack_analysis::SecretSpec::none()
+    }
+
     /// Build the workload at `code_base` using scratch memory at
     /// `data_base`. The program takes the outer iteration count in `R1`.
     ///

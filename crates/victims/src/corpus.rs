@@ -102,6 +102,16 @@ pub struct LibraryVictim {
     pub layout: Vec<(usize, u32)>,
 }
 
+impl LibraryVictim {
+    /// Corpus victims leak their *identity* through layout, not a secret
+    /// through data flow: their call schedule is input-independent, so
+    /// they declare no secrets and the analyzer proves them
+    /// constant-footprint.
+    pub fn secret_spec(&self) -> smack_analysis::SecretSpec {
+        smack_analysis::SecretSpec::none()
+    }
+}
+
 /// Build the victim program for a library version.
 ///
 /// Adjacent versions within a family share most of their layout: function

@@ -345,6 +345,19 @@ impl ModexpVictim {
         (self.entry, [self.exp_addr.0, nbits as u64])
     }
 
+    /// Declare this victim's secret inputs for the static analyzer: the
+    /// exponent bit region. The span covers the whole reservation (up to
+    /// the schedule log) because the staged bit count varies per run.
+    pub fn secret_spec(&self) -> smack_analysis::SecretSpec {
+        smack_analysis::SecretSpec {
+            tainted_memory: vec![smack_analysis::AddrRange::span(
+                self.exp_addr.0,
+                self.log_addr.0 - self.exp_addr.0,
+            )],
+            ..smack_analysis::SecretSpec::default()
+        }
+    }
+
     /// Start the victim on `tid`, with `exp` staged in memory.
     pub fn start(
         &self,

@@ -116,6 +116,26 @@ impl SpectreVictim {
     pub fn secret_index(&self, i: usize) -> u64 {
         self.array_len + i as u64
     }
+
+    /// Declare the gadget's secret inputs for the static analyzer: the
+    /// bytes past the end of `notsecret` (one page's worth — `stage`
+    /// places the secret immediately after the in-bounds entries), and the
+    /// oracle page as the range the indirect call may target (the gadget
+    /// computes its targets, so immediate harvesting alone would only see
+    /// slot 0).
+    pub fn secret_spec(&self) -> smack_analysis::SecretSpec {
+        smack_analysis::SecretSpec {
+            tainted_memory: vec![smack_analysis::AddrRange::span(
+                self.array.0 + self.array_len,
+                4096 - self.array_len,
+            )],
+            indirect_targets: vec![smack_analysis::AddrRange::span(
+                self.oracle_base.0,
+                ORACLE_SLOTS as u64 * 64,
+            )],
+            ..smack_analysis::SecretSpec::default()
+        }
+    }
 }
 
 #[cfg(test)]
