@@ -20,9 +20,10 @@ use std::time::Instant;
 
 use smack::channel::{random_payload, run_channel_in, ChannelSpec};
 use smack::session::{Scenario, Sessions};
+use smack::{OraclePage, Prober};
 use smack_uarch::asm::Assembler;
 use smack_uarch::isa::Reg;
-use smack_uarch::{Machine, MicroArch, PerfEvent, ProbeKind, ThreadId};
+use smack_uarch::{Addr, Machine, MicroArch, PerfEvent, ProbeKind, ThreadId};
 
 /// A victim-shaped loop: `body` ALU instructions closed by
 /// `add/cmp/jne`, iterated `iters` times, then `halt`. Mirrors the modexp
@@ -91,22 +92,59 @@ fn time_interpreters(prog: &smack_uarch::asm::Program, steps: u64, reps: usize) 
 
 /// Best-of-`reps` wall time for one pooled covert-channel trial
 /// (Prime+iProbe, store probe, `bits`-bit payload) — the end-to-end unit
-/// the experiment harnesses repeat thousands of times.
-fn time_trial(sessions: &Sessions, bits: usize, reps: usize) -> f64 {
+/// the experiment harnesses repeat thousands of times. `fused` toggles the
+/// fused probe tier on the checked-out machine (pool checkout resets the
+/// flag to the process default, so the override goes after checkout).
+fn time_trial(sessions: &Sessions, bits: usize, reps: usize, fused: bool) -> f64 {
     let scenario = Scenario::new(MicroArch::CascadeLake);
     let spec = ChannelSpec::prime_probe(ProbeKind::Store);
     let payload = random_payload(bits, 7);
     // Warm the calibration cache so the loop times steady-state trials.
     let mut session = sessions.session(&scenario);
+    session.machine().set_fused_probes(fused);
     run_channel_in(&mut session, &spec, &payload, false).expect("channel runs");
     let mut best = f64::MAX;
     for _ in 0..reps {
         let mut session = sessions.session(&scenario);
+        session.machine().set_fused_probes(fused);
         let t = Instant::now();
         run_channel_in(&mut session, &spec, &payload, false).expect("channel runs");
         best = best.min(t.elapsed().as_secs_f64());
     }
     best
+}
+
+/// Best-of-`reps` ns per probe for each probe class, fused vs per-step:
+/// the phase the fused probe tier targets, isolated from prime/send/wait
+/// cost. The probed line holds a real routine (like the channels' oracle
+/// pages), so the `Execute` class — which can never fuse — has something
+/// to call and serves as the built-in control.
+fn time_probes(reps: usize) -> Vec<(ProbeKind, f64, f64)> {
+    const SCRATCH: Addr = Addr(0x3_0000);
+    let n = 4_000u32;
+    let mut out = Vec::new();
+    for kind in ProbeKind::ALL {
+        let mut best = [f64::MAX; 2];
+        for _ in 0..reps {
+            for (slot, fused) in [(0usize, true), (1, false)] {
+                let mut m = Machine::new(MicroArch::CascadeLake.profile());
+                m.set_fused_probes(fused);
+                let page = OraclePage::build(SCRATCH, 1);
+                page.install(&mut m);
+                let line = page.line(0);
+                m.warm_tlb(ThreadId::T0, line);
+                let mut prober = Prober::new(ThreadId::T0);
+                prober.measure(&mut m, kind, line).expect("probe warms up");
+                let t = Instant::now();
+                for _ in 0..n {
+                    prober.measure(&mut m, kind, line).expect("probe runs");
+                }
+                best[slot] = best[slot].min(t.elapsed().as_secs_f64() / f64::from(n));
+            }
+        }
+        out.push((kind, best[0] * 1e9, best[1] * 1e9));
+    }
+    out
 }
 
 const PATCH_CODE: u64 = 0x50_0000;
@@ -219,12 +257,28 @@ fn main() {
 
     let sessions = Sessions::new();
     let bits = 64;
-    let trial = time_trial(&sessions, bits, reps);
+    let trial = time_trial(&sessions, bits, reps, true);
+    let trial_stepped = time_trial(&sessions, bits, reps, false);
     let trials_per_sec = 1.0 / trial;
+    let trials_per_sec_per_step = 1.0 / trial_stepped;
     println!(
-        "engine/trial: {bits}-bit Prime+iProbe channel trial {:.3} ms ({trials_per_sec:.1} trials/s)",
-        trial * 1e3
+        "engine/trial: {bits}-bit Prime+iProbe channel trial {:.3} ms ({trials_per_sec:.1} trials/s)   \
+         per-step probes {:.3} ms ({trials_per_sec_per_step:.1} trials/s)   fused speedup {:.2}x",
+        trial * 1e3,
+        trial_stepped * 1e3,
+        trial_stepped / trial,
     );
+
+    // Probe-phase cost per class: the instruction sequences the fused tier
+    // collapses into one engine pass, timed in isolation.
+    let probe_rows = time_probes(reps);
+    println!("engine/probe (best of {reps}, ns per timed probe, fused vs per-step)");
+    for (kind, fused_ns, stepped_ns) in &probe_rows {
+        println!(
+            "  {kind:<12} fused {fused_ns:>7.1} ns   per-step {stepped_ns:>7.1} ns   speedup {:.2}x",
+            stepped_ns / fused_ns
+        );
+    }
 
     // SMC patch cost: the in-place re-decode vs the full-recompile
     // fallback, with the recompile rate from the perf counter proving
@@ -259,16 +313,29 @@ fn main() {
          \"speedup\": {:.2},\n  \
          \"quick_all_wall_ms\": {},\n  \
          \"trials_per_sec\": {trials_per_sec:.1},\n  \
+         \"trials_per_sec_per_step\": {trials_per_sec_per_step:.1},\n  \
+         \"trial_fused_speedup\": {:.2},\n  \
          \"trial_payload_bits\": {bits},\n  \
+         \"probe_classes\": [\n{}\n  ],\n  \
          \"patch_inplace_ns\": {:.1},\n  \
          \"patch_recompile_ns\": {:.1},\n  \
          \"patch_recompiles_per_boundary_patch\": {recompile_rate:.2},\n  \
          \"sizes\": [\n{}\n  ]\n}}\n",
-        inplace_ns * 1e9,
-        recompile_ns * 1e9,
         sb_ips / fast_ips,
         fast_ips / ref_ips,
         quick_all_ms.map_or("null".to_string(), |ms| format!("{ms:.1}")),
+        trial_stepped / trial,
+        probe_rows
+            .iter()
+            .map(|(kind, fused_ns, stepped_ns)| format!(
+                "    {{ \"kind\": \"{kind:?}\", \"fused_ns\": {fused_ns:.1}, \
+                 \"per_step_ns\": {stepped_ns:.1}, \"speedup\": {:.2} }}",
+                stepped_ns / fused_ns
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        inplace_ns * 1e9,
+        recompile_ns * 1e9,
         rows.iter()
             .map(|(body, s, f, r)| format!(
                 "    {{ \"body_instrs\": {body}, \"superblock_instrs_per_sec\": {s:.0}, \

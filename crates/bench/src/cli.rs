@@ -152,12 +152,20 @@ fn resolve(names: &[String], default: Selection) -> Result<Vec<&'static Experime
 }
 
 fn print_list() {
-    let mut t = report::Table::new(&["name", "group", "units (quick)", "csv files", "title"]);
+    let mut t = report::Table::new(&[
+        "name",
+        "group",
+        "units (quick)",
+        "units (full)",
+        "csv files",
+        "title",
+    ]);
     for e in registry::registry() {
         t.row(vec![
             e.name.to_owned(),
             format!("{:?}", e.group),
             (e.units)(Mode::Quick).to_string(),
+            (e.units)(Mode::Full).to_string(),
             e.csvs.join(" "),
             e.title.to_owned(),
         ]);

@@ -330,6 +330,8 @@ fn run_channel_inner(
     }
     let epoch = machine.clock(RECEIVER).max(machine.clock(SENDER));
     let mut decoded = Vec::with_capacity(payload.len());
+    // One timing buffer reused across every probe round of the trial.
+    let mut timings = Vec::new();
     let mut trace = Vec::new();
     let mut errors = 0usize;
     let mut phase = Phase::Setup;
@@ -347,13 +349,19 @@ fn run_channel_inner(
                 // Sender's turn. Stop sending a guard band before the slot
                 // boundary so a late fetch cannot bleed into the next bit.
                 if *bit && sent < spec.loads_per_one && sc + sample_cost < slot_end {
-                    machine
-                        .run_sequence(SENDER, &[smack_uarch::isa::Instr::Call { target: target.0 }])
-                        .map_err(step)?;
+                    machine.run_call(SENDER, target.0).map_err(step)?;
                     machine.advance(SENDER, sender_gap).map_err(step)?;
                     sent += 1;
                 } else {
-                    let gap = (slot_end - sc).min(200);
+                    // Nothing left to send this slot: none of the send
+                    // conditions can come back while the clock only grows,
+                    // so the sender keeps idling until its clock passes the
+                    // receiver's. Batch that whole run of 200-cycle chunks
+                    // into one advance — `Machine::advance` is exactly
+                    // partition-invariant, so one call with the chunks'
+                    // total is bit-identical to issuing them one by one.
+                    let chunks = (rc - sc) / 200 + 1;
+                    let gap = (slot_end - sc).min(chunks * 200);
                     machine.advance(SENDER, gap).map_err(step)?;
                 }
             } else if rc < slot_end {
@@ -370,7 +378,20 @@ fn run_channel_inner(
                     }
                     Phase::Wait { until, started_at } => {
                         if rc < until {
-                            machine.advance(RECEIVER, (until - rc).min(150)).map_err(step)?;
+                            // The receiver holds its turn until its clock
+                            // reaches the sender's (or the sender is done
+                            // for the slot), so all the 150-cycle chunks
+                            // up to that point run back-to-back — batch
+                            // them into one partition-invariant advance.
+                            let gap = if sc < slot_end && sc > rc {
+                                let chunks = (sc - rc).div_ceil(150);
+                                (until - rc).min(chunks * 150)
+                            } else if sc >= slot_end {
+                                until - rc
+                            } else {
+                                (until - rc).min(150)
+                            };
+                            machine.advance(RECEIVER, gap).map_err(step)?;
                         } else {
                             phase = Phase::Measure { started_at };
                         }
@@ -379,8 +400,15 @@ fn run_channel_inner(
                         let (timing, activity) = match spec.family {
                             ChannelFamily::PrimeProbe => {
                                 let ev = evset.as_ref().expect("eviction set");
-                                let timings =
-                                    ev.probe(machine, &mut prober, spec.kind).map_err(step)?;
+                                let n = ev.ways().len();
+                                ev.probe_first_into(
+                                    machine,
+                                    &mut prober,
+                                    spec.kind,
+                                    n,
+                                    &mut timings,
+                                )
+                                .map_err(step)?;
                                 let misses = timings.iter().filter(|t| !cal.is_hit(**t)).count();
                                 let min = *timings.iter().min().expect("nonempty");
                                 (min, misses >= 1)
@@ -402,9 +430,11 @@ fn run_channel_inner(
                     }
                 }
             } else {
-                // Receiver finished the slot; let the sender catch up.
-                let gap = (slot_end - sc).min(200);
-                machine.advance(SENDER, gap).map_err(step)?;
+                // Receiver finished the slot; let the sender catch up to
+                // the boundary in one batched advance (the chunked loop
+                // this replaces ran uninterrupted, so partition invariance
+                // makes the single call bit-identical).
+                machine.advance(SENDER, slot_end.saturating_sub(sc)).map_err(step)?;
             }
         }
         decoded.push(saw_activity);

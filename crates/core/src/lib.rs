@@ -35,8 +35,8 @@ pub mod rsa;
 pub mod session;
 pub mod srp;
 
-pub use calibrate::CalibratedProbe;
-pub use channel::{ChannelFamily, ChannelReport, ChannelSpec};
+pub use calibrate::{calibrate, calibrate_with_cold, CalibratedProbe};
+pub use channel::{run_channel, ChannelFamily, ChannelReport, ChannelSpec};
 pub use oracle::{EvictionSet, OraclePage};
 pub use probe::Prober;
 pub use session::{CalibrationCache, Scenario, Session, Sessions};

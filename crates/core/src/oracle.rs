@@ -138,10 +138,7 @@ impl EvictionSet {
     ///
     /// Propagates [`StepError`] from either thread.
     pub fn prime(&self, machine: &mut Machine, prober: &mut Prober) -> Result<(), StepError> {
-        for w in &self.ways {
-            prober.execute_line(machine, *w)?;
-        }
-        Ok(())
+        prober.execute_lines(machine, &self.ways)
     }
 
     /// Probe every way with `kind`, returning per-way timings.
@@ -174,12 +171,33 @@ impl EvictionSet {
         kind: smack_uarch::ProbeKind,
         n: usize,
     ) -> Result<Vec<u64>, StepError> {
+        let mut out = Vec::new();
+        self.probe_first_into(machine, prober, kind, n, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`EvictionSet::probe_first`] into a caller-owned buffer (cleared
+    /// first), so a sampling loop can reuse one allocation across its
+    /// hundreds of probe rounds per trial.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StepError`] from either thread.
+    pub fn probe_first_into(
+        &self,
+        machine: &mut Machine,
+        prober: &mut Prober,
+        kind: smack_uarch::ProbeKind,
+        n: usize,
+        out: &mut Vec<u64>,
+    ) -> Result<(), StepError> {
         let n = n.min(self.ways.len());
-        let mut out = Vec::with_capacity(n);
+        out.clear();
+        out.reserve(n);
         for w in &self.ways[..n] {
             out.push(prober.measure(machine, kind, *w)?.cycles);
         }
-        Ok(out)
+        Ok(())
     }
 }
 

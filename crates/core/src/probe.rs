@@ -6,7 +6,7 @@
 //! measures with inline assembly.
 
 use smack_uarch::isa::{Instr, MemRef, MemSize, Reg};
-use smack_uarch::{Addr, Machine, ProbeKind, StepError, ThreadId};
+use smack_uarch::{Addr, CompiledProbe, Machine, ProbeKind, StepError, ThreadId};
 
 /// Register conventions for probe sequences.
 const ADDR_REG: Reg = Reg::R13;
@@ -117,12 +117,22 @@ pub struct ProbeTiming {
 #[derive(Copy, Clone, Debug)]
 pub struct Prober {
     tid: ThreadId,
+    /// Each probe class's sequence precompiled for the engine's fused
+    /// probe tier; `None` for classes the tier cannot fuse (`Execute`,
+    /// whose timed `call` enters the victim program). Built once per
+    /// prober — `measure` runs millions of times per experiment and must
+    /// not re-recognize the template per probe.
+    compiled: [Option<CompiledProbe>; ProbeKind::ALL.len()],
 }
 
 impl Prober {
     /// A prober running on `tid` (the thread must be idle / attacker-owned).
     pub fn new(tid: ThreadId) -> Prober {
-        Prober { tid }
+        let mut compiled = [None; ProbeKind::ALL.len()];
+        for kind in ProbeKind::ALL {
+            compiled[kind.index()] = CompiledProbe::compile(probe_sequence(kind));
+        }
+        Prober { tid, compiled }
     }
 
     /// The attacker thread.
@@ -144,7 +154,10 @@ impl Prober {
         addr: Addr,
     ) -> Result<ProbeTiming, StepError> {
         machine.set_reg(self.tid, ADDR_REG, addr.0);
-        machine.run_sequence(self.tid, probe_sequence(kind))?;
+        match &self.compiled[kind.index()] {
+            Some(probe) => machine.run_probe(self.tid, probe)?,
+            None => machine.run_sequence(self.tid, probe_sequence(kind))?,
+        };
         let start = machine.reg(self.tid, T_START);
         let end = machine.reg(self.tid, T_END);
         Ok(ProbeTiming { cycles: end.saturating_sub(start), line: addr.line(), kind })
@@ -157,7 +170,32 @@ impl Prober {
     ///
     /// Propagates [`StepError`] from either thread.
     pub fn execute_line(&mut self, machine: &mut Machine, addr: Addr) -> Result<(), StepError> {
-        machine.run_sequence(self.tid, &[Instr::Call { target: addr.0 }])?;
+        machine.run_call(self.tid, addr.0)?;
+        Ok(())
+    }
+
+    /// Execute (call) every line in `addrs` back to back — the batched
+    /// priming primitive. One fused engine entry for the whole batch when
+    /// the engine allows it, per-call otherwise; same machine state either
+    /// way. Called once per prime with the eviction set's ways, so the
+    /// hot path stays allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StepError`] from either thread.
+    pub fn execute_lines(
+        &mut self,
+        machine: &mut Machine,
+        addrs: &[Addr],
+    ) -> Result<(), StepError> {
+        const BATCH: usize = 16;
+        let mut targets = [0u64; BATCH];
+        for chunk in addrs.chunks(BATCH) {
+            for (slot, addr) in targets.iter_mut().zip(chunk) {
+                *slot = addr.0;
+            }
+            machine.run_calls(self.tid, &targets[..chunk.len()])?;
+        }
         Ok(())
     }
 

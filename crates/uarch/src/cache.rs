@@ -112,8 +112,17 @@ impl Cache {
     /// Whether the line containing `addr` is present.
     #[inline]
     pub fn contains(&self, addr: Addr) -> bool {
-        let line = addr.line().0;
-        self.lines[self.slots_of(addr)].contains(&line)
+        self.contains_line(addr.line())
+    }
+
+    /// [`Cache::contains`] for an already line-aligned address. The
+    /// `*_line` variants let the hierarchy resolve an access's line mask
+    /// once and share it across all four levels instead of re-masking in
+    /// every call — the tag-scan loops themselves are unchanged.
+    #[inline]
+    pub fn contains_line(&self, line: Addr) -> bool {
+        debug_assert_eq!(line.line(), line, "caller resolves the line mask");
+        self.lines[self.slots_of(line)].contains(&line.0)
     }
 
     /// Whether the line containing `addr` is present and dirty.
@@ -125,9 +134,15 @@ impl Cache {
     /// Mark the line as most-recently-used. Returns `true` if it was present.
     #[inline]
     pub fn touch(&mut self, addr: Addr) -> bool {
-        let line = addr.line().0;
+        self.touch_line(addr.line())
+    }
+
+    /// [`Cache::touch`] for an already line-aligned address.
+    #[inline]
+    pub fn touch_line(&mut self, line: Addr) -> bool {
+        debug_assert_eq!(line.line(), line, "caller resolves the line mask");
         self.clock += 1;
-        match self.find(self.slots_of(addr), line) {
+        match self.find(self.slots_of(line), line.0) {
             Some(i) => {
                 self.stamps[i] = self.clock;
                 true
@@ -140,10 +155,16 @@ impl Cache {
     /// set is full. Touching an already-present line updates LRU and ORs in
     /// the dirty bit.
     pub fn insert(&mut self, addr: Addr, dirty: bool) -> Option<Evicted> {
-        let line = addr.line().0;
+        self.insert_line(addr.line(), dirty)
+    }
+
+    /// [`Cache::insert`] for an already line-aligned address.
+    pub fn insert_line(&mut self, line: Addr, dirty: bool) -> Option<Evicted> {
+        debug_assert_eq!(line.line(), line, "caller resolves the line mask");
+        let line = line.0;
         self.clock += 1;
         let stamp = self.clock;
-        let slots = self.slots_of(addr);
+        let slots = self.slots_of(Addr(line));
         if let Some(i) = self.find(slots.clone(), line) {
             self.stamps[i] = stamp;
             self.dirty[i] |= dirty;
@@ -151,7 +172,7 @@ impl Cache {
         }
         // Append into the free suffix if any, else replace the
         // (unique-stamped) LRU victim.
-        let set = self.set_of(addr);
+        let set = self.set_of(Addr(line));
         let (slot, evicted) = if usize::from(self.occ[set]) < self.geom.ways {
             self.occ[set] += 1;
             (slots.end, None)
@@ -169,8 +190,14 @@ impl Cache {
 
     /// Set the dirty bit on a present line. Returns `true` if present.
     pub fn mark_dirty(&mut self, addr: Addr) -> bool {
-        let line = addr.line().0;
-        match self.find(self.slots_of(addr), line) {
+        self.mark_dirty_line(addr.line())
+    }
+
+    /// [`Cache::mark_dirty`] for an already line-aligned address.
+    pub fn mark_dirty_line(&mut self, line: Addr) -> bool {
+        debug_assert_eq!(line.line(), line, "caller resolves the line mask");
+        let line = line.0;
+        match self.find(self.slots_of(Addr(line)), line) {
             Some(i) => {
                 self.dirty[i] = true;
                 true
@@ -182,8 +209,14 @@ impl Cache {
     /// Clear the dirty bit on a present line (write-back). Returns `true`
     /// if the line was present and dirty.
     pub fn clean(&mut self, addr: Addr) -> bool {
-        let line = addr.line().0;
-        match self.find(self.slots_of(addr), line) {
+        self.clean_line(addr.line())
+    }
+
+    /// [`Cache::clean`] for an already line-aligned address.
+    pub fn clean_line(&mut self, line: Addr) -> bool {
+        debug_assert_eq!(line.line(), line, "caller resolves the line mask");
+        let line = line.0;
+        match self.find(self.slots_of(Addr(line)), line) {
             Some(i) => {
                 let was = self.dirty[i];
                 self.dirty[i] = false;
@@ -196,8 +229,14 @@ impl Cache {
     /// Remove the line containing `addr`. Returns the evicted entry if it
     /// was present.
     pub fn invalidate(&mut self, addr: Addr) -> Option<Evicted> {
-        let line = addr.line().0;
-        let slots = self.slots_of(addr);
+        self.invalidate_line(addr.line())
+    }
+
+    /// [`Cache::invalidate`] for an already line-aligned address.
+    pub fn invalidate_line(&mut self, line: Addr) -> Option<Evicted> {
+        debug_assert_eq!(line.line(), line, "caller resolves the line mask");
+        let line = line.0;
+        let slots = self.slots_of(Addr(line));
         match self.find(slots.clone(), line) {
             Some(i) => {
                 let ev = Evicted { line: Addr(self.lines[i]), dirty: self.dirty[i] };
@@ -209,7 +248,7 @@ impl Cache {
                 self.stamps[i] = self.stamps[last];
                 self.dirty[i] = self.dirty[last];
                 self.lines[last] = EMPTY;
-                let set = self.set_of(addr);
+                let set = self.set_of(Addr(line));
                 self.occ[set] -= 1;
                 Some(ev)
             }

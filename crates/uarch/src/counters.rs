@@ -66,11 +66,23 @@ pub enum PerfEvent {
     /// [`patch_code`]: crate::engine::Engine::patch_code
     /// [`patch`]: crate::decoded::DecodedProgram::patch
     SimPatchRecompiles,
+    /// Probe sequences retired through the fused probe tier
+    /// ([`run_fused_probe`]). Not a hardware event: together with
+    /// [`SimProbeFallback`] it makes the fused-vs-per-step probe rate
+    /// observable in tests and the engine bench.
+    ///
+    /// [`run_fused_probe`]: crate::engine::Engine::run_fused_probe
+    /// [`SimProbeFallback`]: PerfEvent::SimProbeFallback
+    SimProbeFastPath,
+    /// Probe sequences that the fused tier refused (guards tripped:
+    /// sibling runnable, tracing/fetch-log enabled, speculation live, or
+    /// fusion disabled) and that fell back to per-step execution.
+    SimProbeFallback,
 }
 
 impl PerfEvent {
     /// Every modeled event, in a stable order.
-    pub const ALL: [PerfEvent; 19] = [
+    pub const ALL: [PerfEvent; 21] = [
         PerfEvent::InstRetired,
         PerfEvent::BrInstRetired,
         PerfEvent::BrMispRetired,
@@ -90,6 +102,8 @@ impl PerfEvent {
         PerfEvent::AmdIcLinesInvalidated,
         PerfEvent::AmdL2FillBusy,
         PerfEvent::SimPatchRecompiles,
+        PerfEvent::SimProbeFastPath,
+        PerfEvent::SimProbeFallback,
     ];
 
     fn slot(self) -> usize {
@@ -123,6 +137,8 @@ impl PerfEvent {
             }
             PerfEvent::AmdL2FillBusy => "CYCLES_WITH_FILL_PENDING_FROM_L2.L2_FILL_BUSY",
             PerfEvent::SimPatchRecompiles => "SIM.PATCH_RECOMPILES",
+            PerfEvent::SimProbeFastPath => "SIM.PROBE_FAST_PATH",
+            PerfEvent::SimProbeFallback => "SIM.PROBE_FALLBACK",
         }
     }
 }

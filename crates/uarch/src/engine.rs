@@ -32,12 +32,12 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::addr::{Addr, LINE_SIZE};
+use crate::addr::Addr;
 use crate::asm::Program;
 use crate::bpu::BranchPredictor;
 use crate::counters::{CounterBank, PerfEvent};
 use crate::decoded::{DecodedProgram, MicroOp, NO_IDX};
-use crate::hierarchy::{CacheHierarchy, Level};
+use crate::hierarchy::{AccessInfo, CacheHierarchy, Level, Residency};
 use crate::isa::{Cond, Flags, Instr, MemRef, MemSize, Reg};
 use crate::mem::Memory;
 use crate::noise::{NoiseConfig, NoiseSource};
@@ -236,6 +236,10 @@ impl Thread {
 /// Lines tracked in the in-flight fetch window used for SMC detection.
 const FETCH_WINDOW: usize = 2;
 
+/// Placeholder `AccessInfo` for batched-fetch out-parameters; every slot
+/// handed to [`CacheHierarchy::fetch_lines`] is overwritten before use.
+const COLD_ACCESS: AccessInfo = AccessInfo { level: Level::Dram, latency: 0, was_in_l1i: false };
+
 enum Next {
     Seq,
     Jump(u64),
@@ -263,6 +267,78 @@ fn superblocks_default() -> bool {
     *ON.get_or_init(|| std::env::var("SMACK_SUPERBLOCK").map(|v| v != "0").unwrap_or(true))
 }
 
+/// Default fused-probe setting: on, unless the `SMACK_FUSED_PROBES`
+/// environment variable is set to `0` (the CI determinism gate runs the
+/// repro both ways and diffs CSVs, exactly like `SMACK_SUPERBLOCK`).
+fn fused_probes_default() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("SMACK_FUSED_PROBES").map(|v| v != "0").unwrap_or(true))
+}
+
+/// A probe sequence precompiled for the fused probe tier: the classic
+/// `mfence; rdtsc; <op>; mfence; rdtsc` five-instruction template from
+/// `probe_sequence`, recognized once at construction so
+/// [`Engine::run_fused_probe`] can retire the whole sequence in one
+/// specialized pass instead of five injected-instruction round trips.
+///
+/// `compile` returns `None` for sequences whose timed operation the fused
+/// tier does not model (notably `Execute` probes, whose `call` enters the
+/// victim program); those keep running per-step.
+#[derive(Copy, Clone, Debug)]
+pub struct CompiledProbe {
+    /// The original five-instruction sequence — the per-step fallback
+    /// executes exactly this.
+    instrs: [Instr; 5],
+    /// Destination register of the opening `rdtsc`.
+    t_start: Reg,
+    /// Destination register of the closing `rdtsc`.
+    t_end: Reg,
+    /// The timed middle operation.
+    op: Instr,
+}
+
+impl CompiledProbe {
+    /// Recognize the probe template, or `None` when the sequence must run
+    /// per-step. The middle-op whitelist is exactly the set of operations
+    /// [`Engine::run_fused_probe`] replicates bit-for-bit from `exec`.
+    pub fn compile(instrs: &[Instr; 5]) -> Option<CompiledProbe> {
+        let (t_start, t_end) = match (instrs[0], instrs[1], instrs[3], instrs[4]) {
+            (Instr::Mfence, Instr::Rdtsc { dst: a }, Instr::Mfence, Instr::Rdtsc { dst: b }) => {
+                (a, b)
+            }
+            _ => return None,
+        };
+        let op = instrs[2];
+        match op {
+            Instr::Load { .. }
+            | Instr::StoreImm { .. }
+            | Instr::LockInc { .. }
+            | Instr::Clflush { .. }
+            | Instr::Clflushopt { .. }
+            | Instr::Clwb { .. }
+            | Instr::PrefetchT0 { .. }
+            | Instr::PrefetchNta { .. } => {}
+            _ => return None,
+        }
+        Some(CompiledProbe { instrs: *instrs, t_start, t_end, op })
+    }
+
+    /// The original five-instruction sequence (the per-step fallback).
+    pub fn instrs(&self) -> &[Instr; 5] {
+        &self.instrs
+    }
+}
+
+/// Slots in the direct-mapped [`Engine::call_shape`] memo table.
+const CALL_SHAPE_SLOTS: usize = 64;
+
+/// Empty call-shape slot (`u64::MAX` is never a decodable call target).
+const EMPTY_SHAPE: (u64, u64, u64, u32) = (u64::MAX, 0, 0, 0);
+
+/// Largest batch [`Engine::run_fused_calls`] fuses in one pass — an
+/// eviction set's way count with headroom.
+const CALL_BATCH_MAX: usize = 16;
+
 /// The two-thread core simulator. Usually driven through
 /// [`crate::machine::Machine`].
 pub struct Engine {
@@ -279,6 +355,27 @@ pub struct Engine {
     /// Whether burst execution may retire fused superblocks (default; see
     /// [`Engine::set_superblocks`]). Requires `use_decoded`.
     use_superblocks: bool,
+    /// Whether injected probe sequences may retire through the fused probe
+    /// tier (default; see [`Engine::set_fused_probes`]).
+    use_fused_probes: bool,
+    /// Memoized [`Engine::call_shape`] walks — `(target, nops, ret_pc,
+    /// ret_idx)`, direct-mapped by a multiply-hash of the target address,
+    /// valid while `call_shapes_gen` matches `decode_gen`. Sized for
+    /// attacker working sets (an 8-way eviction set plus a few oracle
+    /// lines): priming calls the same handful of targets millions of
+    /// times per campaign, and one hash probe beats re-hashing
+    /// `pc → index` in the decoded table's map every call.
+    call_shapes: [(u64, u64, u64, u32); CALL_SHAPE_SLOTS],
+    call_shapes_gen: u64,
+    /// Bumped whenever the decoded table changes (load / patch / reset),
+    /// invalidating `call_shapes`.
+    decode_gen: u64,
+    /// Upper bound on the cycle cost of any fused probe's pre-timer body
+    /// (opening `mfence` sans drain, `rdtsc`, and the worst-case middle
+    /// op). Precomputed from the immutable profile; `run_fused_probe`
+    /// compares it against the noise schedule to decide whether the five
+    /// per-instruction eviction draws can be coalesced into one.
+    probe_op_bound: u64,
     mem: Memory,
     hier: CacheHierarchy,
     itlb: [Tlb; 2],
@@ -300,12 +397,31 @@ impl Engine {
         let hier = CacheHierarchy::new(profile.hierarchy);
         let itlb = [Tlb::new(profile.itlb_entries), Tlb::new(profile.itlb_entries)];
         let dtlb = [Tlb::new(profile.dtlb_entries), Tlb::new(profile.dtlb_entries)];
+        let worst_op = ProbeKind::ALL
+            .iter()
+            .map(|k| {
+                let c = profile.probe_costs.get(*k);
+                let extra = c.l1d.max(c.l2).max(c.llc).max(c.dram).max(c.smc_extra);
+                (c.base + extra) as u64
+            })
+            .max()
+            .unwrap_or(0);
+        let probe_op_bound = profile.mfence_cost as u64
+            + profile.rdtsc_cost as u64
+            + 1
+            + profile.tlb_walk as u64
+            + worst_op;
         Engine {
             threads: [Thread::new(), Thread::new()],
             code: Program::default(),
             decoded: DecodedProgram::default(),
             use_decoded: true,
             use_superblocks: superblocks_default(),
+            use_fused_probes: fused_probes_default(),
+            call_shapes: [EMPTY_SHAPE; CALL_SHAPE_SLOTS],
+            call_shapes_gen: 0,
+            decode_gen: 0,
+            probe_op_bound,
             mem: Memory::new(),
             hier,
             itlb,
@@ -335,8 +451,10 @@ impl Engine {
         }
         self.code.clear();
         self.decoded.clear();
+        self.decode_gen += 1;
         self.use_decoded = true;
         self.use_superblocks = superblocks_default();
+        self.use_fused_probes = fused_probes_default();
         self.mem.clear();
         self.hier.clear();
         for tlb in self.itlb.iter_mut().chain(self.dtlb.iter_mut()) {
@@ -369,6 +487,7 @@ impl Engine {
     pub fn load(&mut self, prog: &Program) {
         self.code.merge(prog);
         self.decoded = DecodedProgram::compile(&self.code);
+        self.decode_gen += 1;
         for t in &mut self.threads {
             t.pc_idx = NO_IDX;
         }
@@ -391,6 +510,7 @@ impl Engine {
     /// executes against the line.
     pub fn patch_code(&mut self, prog: &Program) {
         self.code.overwrite(prog);
+        self.decode_gen += 1;
         let in_place = prog.iter().all(|(pc, instr)| self.decoded.patch(pc, *instr));
         if !in_place {
             // Charge the recompile to T0's bank: the event is core-wide, so
@@ -438,6 +558,25 @@ impl Engine {
     /// Whether superblock retirement is active.
     pub fn superblocks(&self) -> bool {
         self.use_superblocks
+    }
+
+    /// Enable or disable the fused probe tier. When on,
+    /// [`Engine::run_fused_probe`] retires a whole compiled
+    /// `mfence; rdtsc; <op>; mfence; rdtsc` probe sequence in one
+    /// specialized pass — with guards that make the result bit-identical
+    /// to injecting the five instructions per-step: fusion refuses to run
+    /// (and the caller falls back) whenever either hardware thread is
+    /// runnable, speculation is live, or tracing / fetch logging could
+    /// observe intermediate state. Default: on, unless the
+    /// `SMACK_FUSED_PROBES` environment variable is `0`. Reset restores
+    /// the default.
+    pub fn set_fused_probes(&mut self, on: bool) {
+        self.use_fused_probes = on;
+    }
+
+    /// Whether the fused probe tier is active.
+    pub fn fused_probes(&self) -> bool {
+        self.use_fused_probes
     }
 
     /// Simulated memory.
@@ -889,114 +1028,140 @@ impl Engine {
             lo
         };
         let end = idx + n as u32;
-        // Execute, one cache-line segment at a time: fetch (same decision
-        // per-step execution would make), then a tight register loop over
-        // the segment's micro-ops with the clock in a local.
+        // Execute, one cache-line segment at a time. Segment boundaries
+        // are known up front, so the per-line fetches go through the
+        // hierarchy's batched multi-line API in groups of up to
+        // `FETCH_BATCH` lines — one resolution pass over the group — with
+        // each segment's fetch cost charged at its boundary, exactly where
+        // per-step execution charges it, before the tight register loop
+        // over the segment's micro-ops runs with the clock in a local.
+        // (Micro-ops touch only regs/flags/clock, never the hierarchy,
+        // TLBs or counters, so hoisting the group's fetch effects ahead of
+        // the intervening micro-ops is unobservable; the deferred clock
+        // charge is what keeps the ready-stamp math bit-identical.)
+        const FETCH_BATCH: usize = 8;
         let mut seg = idx;
         while seg < end {
-            let seg_end = self.decoded.line_end(seg).min(end);
-            let line = self.decoded.get(seg).line;
-            if self.threads[tid.index()].last_fetch_line != line {
-                self.fetch(tid, line);
+            let mut seg_ends = [0u32; FETCH_BATCH];
+            let mut lines = [0u64; FETCH_BATCH];
+            let mut n_seg = 0usize;
+            let mut s = seg;
+            while s < end && n_seg < FETCH_BATCH {
+                seg_ends[n_seg] = self.decoded.line_end(s).min(end);
+                lines[n_seg] = self.decoded.get(s).line;
+                s = seg_ends[n_seg];
+                n_seg += 1;
             }
-            let ops = self.decoded.micro_slice(seg, seg_end);
-            let t = &mut self.threads[tid.index()];
-            let mut clock = t.clock;
-            for op in ops {
-                match *op {
-                    MicroOp::Nop => clock += 1,
-                    MicroOp::MovImm { dst, imm } => {
-                        let d = usize::from(dst & 0xf);
-                        clock += 1;
-                        t.regs[d] = imm;
-                        t.ready[d] = clock;
+            // Lines strictly increase across a straight-line run, so only
+            // the group's first segment can already be streaming.
+            let skip = usize::from(self.threads[tid.index()].last_fetch_line == lines[0]);
+            let mut infos = [COLD_ACCESS; FETCH_BATCH];
+            self.hier.fetch_lines(&lines[skip..n_seg], &mut infos[skip..n_seg]);
+            let mut costs = [0u64; FETCH_BATCH];
+            for j in skip..n_seg {
+                costs[j] = self.fetch_effects(tid, lines[j], infos[j]);
+            }
+            for (j, &seg_end) in seg_ends.iter().enumerate().take(n_seg) {
+                let ops = self.decoded.micro_slice(seg, seg_end);
+                let t = &mut self.threads[tid.index()];
+                t.clock += costs[j];
+                let mut clock = t.clock;
+                for op in ops {
+                    match *op {
+                        MicroOp::Nop => clock += 1,
+                        MicroOp::MovImm { dst, imm } => {
+                            let d = usize::from(dst & 0xf);
+                            clock += 1;
+                            t.regs[d] = imm;
+                            t.ready[d] = clock;
+                        }
+                        MicroOp::Mov { dst, src } => {
+                            let d = usize::from(dst & 0xf);
+                            let s = usize::from(src & 0xf);
+                            clock += 1;
+                            t.regs[d] = t.regs[s];
+                            t.ready[d] = clock.max(t.ready[s]);
+                        }
+                        MicroOp::Add { dst, src } => {
+                            let d = usize::from(dst & 0xf);
+                            let s = usize::from(src & 0xf);
+                            clock += 1;
+                            t.regs[d] = t.regs[d].wrapping_add(t.regs[s]);
+                            t.ready[d] = clock.max(t.ready[d]).max(t.ready[s]);
+                        }
+                        MicroOp::AddImm { dst, imm } => {
+                            let d = usize::from(dst & 0xf);
+                            clock += 1;
+                            t.regs[d] = t.regs[d].wrapping_add(imm);
+                            t.ready[d] = clock.max(t.ready[d]);
+                        }
+                        MicroOp::Sub { dst, src } => {
+                            let d = usize::from(dst & 0xf);
+                            let s = usize::from(src & 0xf);
+                            clock += 1;
+                            t.regs[d] = t.regs[d].wrapping_sub(t.regs[s]);
+                            t.ready[d] = clock.max(t.ready[d]).max(t.ready[s]);
+                        }
+                        MicroOp::Mul { dst, src } => {
+                            let d = usize::from(dst & 0xf);
+                            let s = usize::from(src & 0xf);
+                            clock += 3;
+                            t.regs[d] = t.regs[d].wrapping_mul(t.regs[s]);
+                            t.ready[d] = clock.max(t.ready[d]).max(t.ready[s]);
+                        }
+                        MicroOp::And { dst, src } => {
+                            let d = usize::from(dst & 0xf);
+                            let s = usize::from(src & 0xf);
+                            clock += 1;
+                            t.regs[d] &= t.regs[s];
+                            t.ready[d] = clock.max(t.ready[d]).max(t.ready[s]);
+                        }
+                        MicroOp::Or { dst, src } => {
+                            let d = usize::from(dst & 0xf);
+                            let s = usize::from(src & 0xf);
+                            clock += 1;
+                            t.regs[d] |= t.regs[s];
+                            t.ready[d] = clock.max(t.ready[d]).max(t.ready[s]);
+                        }
+                        MicroOp::Xor { dst, src } => {
+                            let d = usize::from(dst & 0xf);
+                            let s = usize::from(src & 0xf);
+                            clock += 1;
+                            t.regs[d] ^= t.regs[s];
+                            t.ready[d] = clock.max(t.ready[d]).max(t.ready[s]);
+                        }
+                        MicroOp::ShlImm { dst, amount } => {
+                            let d = usize::from(dst & 0xf);
+                            clock += 1;
+                            t.regs[d] = t.regs[d].wrapping_shl(amount);
+                            t.ready[d] = clock.max(t.ready[d]);
+                        }
+                        MicroOp::ShrImm { dst, amount } => {
+                            let d = usize::from(dst & 0xf);
+                            clock += 1;
+                            t.regs[d] = t.regs[d].wrapping_shr(amount);
+                            t.ready[d] = clock.max(t.ready[d]);
+                        }
+                        MicroOp::Cmp { a, b } => {
+                            let ia = usize::from(a & 0xf);
+                            let ib = usize::from(b & 0xf);
+                            clock += 1;
+                            t.flags = Flags::compare(t.regs[ia], t.regs[ib]);
+                            t.flags_ready = clock.max(t.ready[ia]).max(t.ready[ib]);
+                        }
+                        MicroOp::CmpImm { a, imm } => {
+                            let ia = usize::from(a & 0xf);
+                            clock += 1;
+                            t.flags = Flags::compare(t.regs[ia], imm);
+                            t.flags_ready = clock.max(t.ready[ia]);
+                        }
+                        MicroOp::Delay { cycles } => clock += cycles,
+                        MicroOp::NotFused => unreachable!("inside a fused run"),
                     }
-                    MicroOp::Mov { dst, src } => {
-                        let d = usize::from(dst & 0xf);
-                        let s = usize::from(src & 0xf);
-                        clock += 1;
-                        t.regs[d] = t.regs[s];
-                        t.ready[d] = clock.max(t.ready[s]);
-                    }
-                    MicroOp::Add { dst, src } => {
-                        let d = usize::from(dst & 0xf);
-                        let s = usize::from(src & 0xf);
-                        clock += 1;
-                        t.regs[d] = t.regs[d].wrapping_add(t.regs[s]);
-                        t.ready[d] = clock.max(t.ready[d]).max(t.ready[s]);
-                    }
-                    MicroOp::AddImm { dst, imm } => {
-                        let d = usize::from(dst & 0xf);
-                        clock += 1;
-                        t.regs[d] = t.regs[d].wrapping_add(imm);
-                        t.ready[d] = clock.max(t.ready[d]);
-                    }
-                    MicroOp::Sub { dst, src } => {
-                        let d = usize::from(dst & 0xf);
-                        let s = usize::from(src & 0xf);
-                        clock += 1;
-                        t.regs[d] = t.regs[d].wrapping_sub(t.regs[s]);
-                        t.ready[d] = clock.max(t.ready[d]).max(t.ready[s]);
-                    }
-                    MicroOp::Mul { dst, src } => {
-                        let d = usize::from(dst & 0xf);
-                        let s = usize::from(src & 0xf);
-                        clock += 3;
-                        t.regs[d] = t.regs[d].wrapping_mul(t.regs[s]);
-                        t.ready[d] = clock.max(t.ready[d]).max(t.ready[s]);
-                    }
-                    MicroOp::And { dst, src } => {
-                        let d = usize::from(dst & 0xf);
-                        let s = usize::from(src & 0xf);
-                        clock += 1;
-                        t.regs[d] &= t.regs[s];
-                        t.ready[d] = clock.max(t.ready[d]).max(t.ready[s]);
-                    }
-                    MicroOp::Or { dst, src } => {
-                        let d = usize::from(dst & 0xf);
-                        let s = usize::from(src & 0xf);
-                        clock += 1;
-                        t.regs[d] |= t.regs[s];
-                        t.ready[d] = clock.max(t.ready[d]).max(t.ready[s]);
-                    }
-                    MicroOp::Xor { dst, src } => {
-                        let d = usize::from(dst & 0xf);
-                        let s = usize::from(src & 0xf);
-                        clock += 1;
-                        t.regs[d] ^= t.regs[s];
-                        t.ready[d] = clock.max(t.ready[d]).max(t.ready[s]);
-                    }
-                    MicroOp::ShlImm { dst, amount } => {
-                        let d = usize::from(dst & 0xf);
-                        clock += 1;
-                        t.regs[d] = t.regs[d].wrapping_shl(amount);
-                        t.ready[d] = clock.max(t.ready[d]);
-                    }
-                    MicroOp::ShrImm { dst, amount } => {
-                        let d = usize::from(dst & 0xf);
-                        clock += 1;
-                        t.regs[d] = t.regs[d].wrapping_shr(amount);
-                        t.ready[d] = clock.max(t.ready[d]);
-                    }
-                    MicroOp::Cmp { a, b } => {
-                        let ia = usize::from(a & 0xf);
-                        let ib = usize::from(b & 0xf);
-                        clock += 1;
-                        t.flags = Flags::compare(t.regs[ia], t.regs[ib]);
-                        t.flags_ready = clock.max(t.ready[ia]).max(t.ready[ib]);
-                    }
-                    MicroOp::CmpImm { a, imm } => {
-                        let ia = usize::from(a & 0xf);
-                        clock += 1;
-                        t.flags = Flags::compare(t.regs[ia], imm);
-                        t.flags_ready = clock.max(t.ready[ia]);
-                    }
-                    MicroOp::Delay { cycles } => clock += cycles,
-                    MicroOp::NotFused => unreachable!("inside a fused run"),
                 }
+                t.clock = clock;
+                seg = seg_end;
             }
-            t.clock = clock;
-            seg = seg_end;
         }
         // Batched retire: pc/pc_idx from the last instruction's successor
         // links, one counter update, one noise-schedule advance (which the
@@ -1045,20 +1210,493 @@ impl Engine {
         }
     }
 
+    /// Retire a whole compiled probe sequence in one specialized pass: the
+    /// fused probe tier. Returns `None` (after bumping `SimProbeFallback`)
+    /// when a guard requires per-step execution — the caller then injects
+    /// `probe.instrs()` one instruction at a time — and `Some(outcome)`
+    /// with the same `SeqOutcome` five `exec_injected` calls would have
+    /// produced.
+    ///
+    /// Bit-identical to per-step injection by construction: each of the
+    /// five instructions is replicated from the corresponding `exec` arm
+    /// (same cost formulas, counter bumps, hierarchy calls and noise-draw
+    /// order; the equivalence proptests lock this). What fusion saves is
+    /// the per-instruction machine/engine round trip — injected-state
+    /// checks, sibling catch-up attempts and the outer dispatch — and,
+    /// when the noise schedule provably fires no eviction before the
+    /// closing `rdtsc`, the five per-instruction `evictions_for` draws,
+    /// coalesced into one exact batched draw (see the body).
+    ///
+    /// Guards (any one forces fallback): fusion disabled, this thread or
+    /// the sibling runnable (an interleaved sibling could observe
+    /// intermediate hierarchy/clock state), live speculation, tracing, or
+    /// fetch logging. There is no pending-SMC state to guard separately:
+    /// a probe whose store/flush conflicts with the front-end takes the
+    /// machine clear *inside* `probe_effects`, identically on both paths.
+    ///
+    /// # Errors
+    ///
+    /// `Some(Err(_))` propagates the middle operation's error (e.g. an
+    /// [`StepError::Unsupported`] probe class) with the same partial state
+    /// per-step execution leaves behind.
+    pub fn run_fused_probe(
+        &mut self,
+        tid: ThreadId,
+        probe: &CompiledProbe,
+    ) -> Option<Result<SeqOutcome, StepError>> {
+        let sib = tid.sibling();
+        if !self.use_fused_probes
+            || self.t(tid).state == ThreadState::Running
+            || self.t(sib).state == ThreadState::Running
+            || self.t(tid).spec.is_some()
+            || self.tracer.is_enabled()
+            || self.fetch_log.is_some()
+        {
+            self.t_mut(tid).counters.add(PerfEvent::SimProbeFallback, 1);
+            return None;
+        }
+        let start = self.t(tid).clock;
+        // Injected code executes from elsewhere; see `exec_injected`.
+        self.t_mut(tid).last_fetch_line = u64::MAX;
+        // Per-step, the RNG draw order is E(c1) J1 E(c2) E(c3) E(c4) J2
+        // E(c5): an `evictions_for` draw per instruction interleaved with
+        // the two `rdtsc` jitter draws. When E(c1)..E(c4) provably yield
+        // zero evictions, the whole prefix collapses into the final draw —
+        // `evictions_for` is exactly partition-invariant, the zero draws
+        // touch no RNG state, and any eviction from E(c5) lands after J2
+        // on both paths. `c1..c3` are bounded up front (`wait1` is exact,
+        // the rest by `probe_op_bound`); `c4`'s drain of a Load's pending
+        // DRAM fill is re-checked exactly once the op's cost is known.
+        let wait1 = self.t(tid).pending_mem.saturating_sub(start);
+        if wait1 + self.probe_op_bound < self.noise.cycles_to_next_eviction() {
+            let mut acc = 0u64;
+            self.fused_mfence(tid, Some(&mut acc));
+            self.fused_rdtsc(tid, probe.t_start, Some(&mut acc));
+            if let Err(e) = self.fused_probe_op(tid, &probe.op, Some(&mut acc)) {
+                // Per-step execution skips the failing op's noise epilogue
+                // but has drawn E(c1) and E(c2) — both provably zero here;
+                // one batched call advances the schedule identically.
+                let _ = self.noise.evictions_for(acc);
+                return Some(Err(e));
+            }
+            let pre = acc;
+            self.fused_mfence(tid, Some(&mut acc));
+            if acc < self.noise.cycles_to_next_eviction() {
+                self.fused_rdtsc(tid, probe.t_end, Some(&mut acc));
+                let evictions = self.noise.evictions_for(acc);
+                self.apply_evictions(evictions);
+            } else {
+                // Rare: draining the op's pending memory at the closing
+                // `mfence` crossed the eviction boundary. Settle the
+                // deferred draws in per-step order: E(c1+c2+c3) is zero by
+                // the up-front bound, E(c4) fires, then J2 and E(c5).
+                let _ = self.noise.evictions_for(pre);
+                let evictions = self.noise.evictions_for(acc - pre);
+                self.apply_evictions(evictions);
+                self.fused_rdtsc(tid, probe.t_end, None);
+            }
+        } else {
+            // An eviction is due within the probe: keep the per-
+            // instruction draw interleaving.
+            self.fused_mfence(tid, None);
+            self.fused_rdtsc(tid, probe.t_start, None);
+            if let Err(e) = self.fused_probe_op(tid, &probe.op, None) {
+                return Some(Err(e));
+            }
+            self.fused_mfence(tid, None);
+            self.fused_rdtsc(tid, probe.t_end, None);
+        }
+        self.t_mut(tid).counters.add(PerfEvent::SimProbeFastPath, 1);
+        let end_clock = self.t(tid).clock;
+        Some(Ok(SeqOutcome { cycles: end_clock - start, end_clock }))
+    }
+
+    /// Skip `cycles` idle cycles in one batched update — the fused
+    /// replacement for injecting `Delay` chunks when nothing else can run.
+    /// Returns `false` (caller falls back to per-step chunking) when
+    /// either thread is runnable or fusion is disabled.
+    ///
+    /// Equivalent to the per-step path by construction: `Delay` draws no
+    /// `rdtsc` jitter, `evictions_for` is exactly partition-invariant, and
+    /// the chunked path retires `ceil(cycles / chunk)` delay instructions
+    /// of 200 cycles each with nothing observing state between chunks.
+    pub fn advance_idle(&mut self, tid: ThreadId, cycles: u64) -> bool {
+        if !self.use_fused_probes
+            || self.t(tid).state == ThreadState::Running
+            || self.t(tid.sibling()).state == ThreadState::Running
+        {
+            return false;
+        }
+        if cycles == 0 {
+            return true;
+        }
+        let t = self.t_mut(tid);
+        t.last_fetch_line = u64::MAX;
+        t.counters.add(PerfEvent::InstRetired, cycles.div_ceil(200));
+        self.fused_retire(tid, cycles);
+        true
+    }
+
+    /// Retire an injected `call` of an attacker-owned one-line `nop*; ret`
+    /// routine in one fused pass — the shape of every eviction-set way and
+    /// oracle line, whose priming calls dominate a covert-channel trial's
+    /// injected-instruction count. Returns `None` (after bumping
+    /// `SimProbeFallback`) when a guard or the callee's shape requires
+    /// per-step execution; the caller then injects the `call` normally.
+    ///
+    /// Bit-identical to per-step injection by construction:
+    ///
+    /// * The injected `Call` itself retires nothing and charges nothing
+    ///   (`exec_injected` returns `EnterCall` before reaching `exec`), and
+    ///   the return sentinel push/pop nets out; the thread ends idle with
+    ///   `pc`/`pc_idx` parked at the `ret` — the exact per-step end state.
+    /// * The callee line is fetched once through the same
+    ///   `fetch_lines`/`fetch_effects` pair the per-step path uses (the
+    ///   injected-call reset of `last_fetch_line` forces that fetch on
+    ///   both paths), so iTLB, fetch-window, hit-level counter and stall
+    ///   effects match exactly.
+    /// * `nop` (cost 1) and `ret` (cost 2, sentinel pop) draw no `rdtsc`
+    ///   jitter, so batching their noise epilogues into one
+    ///   `evictions_for` call is exact (partition invariance), and every
+    ///   eviction draw lands after the block's lone hierarchy access (the
+    ///   fetch) on both paths — no mid-block truncation guard needed.
+    pub fn run_fused_call(&mut self, tid: ThreadId, target: u64) -> Option<SeqOutcome> {
+        let sib = tid.sibling();
+        if !self.use_fused_probes
+            || !self.use_decoded
+            || self.t(tid).state == ThreadState::Running
+            || self.t(sib).state == ThreadState::Running
+            || self.t(tid).spec.is_some()
+            || self.tracer.is_enabled()
+            || self.fetch_log.is_some()
+        {
+            self.t_mut(tid).counters.add(PerfEvent::SimProbeFallback, 1);
+            return None;
+        }
+        let Some((nops, ret_pc, ret_idx)) = self.call_shape(target) else {
+            self.t_mut(tid).counters.add(PerfEvent::SimProbeFallback, 1);
+            return None;
+        };
+        let line = Addr(target).line().0;
+        let start = self.t(tid).clock;
+        // The one front-end fetch of the callee line (the per-step path's
+        // first step after `begin_injected_call`).
+        let mut info = [COLD_ACCESS];
+        self.hier.fetch_lines(std::slice::from_ref(&line), &mut info);
+        let fetch_cost = self.fetch_effects(tid, line, info[0]);
+        let t = self.t_mut(tid);
+        t.clock += fetch_cost;
+        t.counters.add(PerfEvent::InstRetired, nops + 1);
+        t.pc = ret_pc;
+        t.pc_idx = ret_idx;
+        // `nops` cost-1 retirements plus the cost-2 `ret`, noise batched.
+        self.fused_retire(tid, nops + 2);
+        self.t_mut(tid).counters.add(PerfEvent::SimProbeFastPath, 1);
+        let end_clock = self.t(tid).clock;
+        Some(SeqOutcome { cycles: end_clock - start, end_clock })
+    }
+
+    /// Retire a batch of injected calls to attacker-owned one-line
+    /// `nop*; ret` routines in one fused pass — `EvictionSet::prime`'s
+    /// eight way-calls land here as a single engine entry instead of
+    /// eight. Returns `None` (with *no* counter side effects) when any
+    /// guard, any callee's shape, or the noise schedule requires finer
+    /// granularity; the caller then runs the calls one at a time, each of
+    /// which may still fuse individually and counts its own fast-path or
+    /// fallback event.
+    ///
+    /// Exact beyond the single-call argument (see
+    /// [`Engine::run_fused_call`]): consecutive injected calls execute
+    /// back-to-back with nothing observing thread state between them; the
+    /// per-call hierarchy fetches keep their order inside one batched
+    /// `fetch_lines` (retirements between them touch no hierarchy state —
+    /// the schedule check guarantees zero evictions up to the last call);
+    /// and the per-call `evictions_for` draws, jitter-free and provably
+    /// zero, collapse into one batched draw by partition invariance.
+    pub fn run_fused_calls(&mut self, tid: ThreadId, targets: &[u64]) -> Option<SeqOutcome> {
+        let sib = tid.sibling();
+        if targets.is_empty()
+            || targets.len() > CALL_BATCH_MAX
+            || !self.use_fused_probes
+            || !self.use_decoded
+            || self.t(tid).state == ThreadState::Running
+            || self.t(sib).state == ThreadState::Running
+            || self.t(tid).spec.is_some()
+            || self.tracer.is_enabled()
+            || self.fetch_log.is_some()
+        {
+            return None;
+        }
+        let n = targets.len();
+        let mut shapes = [(0u64, 0u64, 0u32); CALL_BATCH_MAX];
+        let mut lines = [0u64; CALL_BATCH_MAX];
+        let mut sum_instr = 0u64;
+        for (i, &target) in targets.iter().enumerate() {
+            let shape = self.call_shape(target)?;
+            shapes[i] = shape;
+            lines[i] = Addr(target).line().0;
+            sum_instr += shape.0 + 2;
+        }
+        if sum_instr >= self.noise.cycles_to_next_eviction() {
+            return None;
+        }
+        let start = self.t(tid).clock;
+        let mut infos = [COLD_ACCESS; CALL_BATCH_MAX];
+        self.hier.fetch_lines(&lines[..n], &mut infos[..n]);
+        for i in 0..n {
+            let fetch_cost = self.fetch_effects(tid, lines[i], infos[i]);
+            let nops = shapes[i].0;
+            let t = self.t_mut(tid);
+            t.clock += fetch_cost + nops + 2;
+            t.counters.add(PerfEvent::InstRetired, nops + 1);
+        }
+        let (_, ret_pc, ret_idx) = shapes[n - 1];
+        let t = self.t_mut(tid);
+        t.pc = ret_pc;
+        t.pc_idx = ret_idx;
+        t.counters.add(PerfEvent::SimProbeFastPath, n as u64);
+        // Provably zero evictions; the one call advances the schedule
+        // exactly as the per-call draws would.
+        let _ = self.noise.evictions_for(sum_instr);
+        let end_clock = self.t(tid).clock;
+        Some(SeqOutcome { cycles: end_clock - start, end_clock })
+    }
+
+    /// Resolve (and memoize) the fused-call shape of the routine at
+    /// `target`: `Some((nops, ret_pc, ret_idx))` when the callee is
+    /// `nop*; ret` entirely on its entry line, `None` for anything else —
+    /// other opcodes, a line crossing, a decode hole left by a corrupting
+    /// probe. Negative results are not memoized (they fall back to
+    /// per-step execution, where one redundant walk is noise).
+    fn call_shape(&mut self, target: u64) -> Option<(u64, u64, u32)> {
+        if self.call_shapes_gen != self.decode_gen {
+            self.call_shapes = [EMPTY_SHAPE; CALL_SHAPE_SLOTS];
+            self.call_shapes_gen = self.decode_gen;
+        }
+        let slot = (target.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 58) as usize;
+        let (t, nops, ret_pc, ret_idx) = self.call_shapes[slot];
+        if t == target {
+            return Some((nops, ret_pc, ret_idx));
+        }
+        let line = Addr(target).line().0;
+        let shape = 'walk: {
+            let mut idx = self.decoded.index_of(target);
+            let mut nops = 0u64;
+            let mut ret_pc = target;
+            loop {
+                if idx == NO_IDX {
+                    break 'walk None;
+                }
+                let d = self.decoded.get(idx);
+                if d.line != line {
+                    break 'walk None;
+                }
+                match d.instr {
+                    Instr::Nop => {
+                        nops += 1;
+                        ret_pc += d.len;
+                        idx = d.fall;
+                    }
+                    Instr::Ret => break 'walk Some((nops, ret_pc, idx)),
+                    _ => break 'walk None,
+                }
+            }
+        };
+        let (nops, ret_pc, ret_idx) = shape?;
+        self.call_shapes[slot] = (target, nops, ret_pc, ret_idx);
+        Some((nops, ret_pc, ret_idx))
+    }
+
+    /// Fused-tier `mfence`: the `exec` arm plus injected-retirement
+    /// bookkeeping, with the clock/noise epilogue applied via
+    /// [`Engine::fused_charge`].
+    fn fused_mfence(&mut self, tid: ThreadId, deferred: Option<&mut u64>) {
+        let mfence_cost = self.profile.mfence_cost as u64;
+        let t = self.t_mut(tid);
+        t.counters.add(PerfEvent::InstRetired, 1);
+        let wait = t.pending_mem.saturating_sub(t.clock);
+        if wait > 0 {
+            t.counters.add(PerfEvent::CycleActivityStallsTotal, wait);
+        }
+        self.fused_charge(tid, wait + mfence_cost, deferred);
+    }
+
+    /// Fused-tier `rdtsc`. The jitter draw happens before the retire's
+    /// eviction draw, matching per-step RNG order.
+    fn fused_rdtsc(&mut self, tid: ThreadId, dst: Reg, deferred: Option<&mut u64>) {
+        let cost = self.profile.rdtsc_cost as u64;
+        let res = self.profile.tsc_resolution as u64;
+        let jitter = self.noise.jitter();
+        let t = self.t_mut(tid);
+        t.counters.add(PerfEvent::InstRetired, 1);
+        let clock0 = t.clock;
+        let raw = (clock0 + cost).saturating_add_signed(jitter);
+        t.regs[dst.index()] = (raw / res) * res;
+        t.ready[dst.index()] = clock0 + cost;
+        self.fused_charge(tid, cost, deferred);
+    }
+
+    /// Fused-tier timed middle operation: each arm replicates the
+    /// non-speculative branch of the corresponding `exec` arm (fusion
+    /// guards guarantee `spec.is_none()`). On error the partial state
+    /// (retire counter, dTLB fills) matches per-step execution — the
+    /// clock/noise epilogue is skipped exactly like `exec`'s early return.
+    fn fused_probe_op(
+        &mut self,
+        tid: ThreadId,
+        op: &Instr,
+        deferred: Option<&mut u64>,
+    ) -> Result<(), StepError> {
+        self.t_mut(tid).counters.add(PerfEvent::InstRetired, 1);
+        let clock0 = self.t(tid).clock;
+        let mut cost: u64 = 1;
+        match op {
+            Instr::Load { dst, mem, size } => {
+                let addr = self.mem_addr(tid, *mem);
+                cost += self.dtlb_cost(tid, addr);
+                let info = self.hier.read(addr.line());
+                self.count_data_level(tid, info.level);
+                let val = self.read_mem_value(addr, *size);
+                let t = self.t_mut(tid);
+                t.regs[dst.index()] = val;
+                let done = (clock0 + cost).max(t.ready[mem.base.index()]) + info.latency as u64;
+                t.ready[dst.index()] = done;
+                t.pending_mem = t.pending_mem.max(done);
+            }
+            Instr::StoreImm { mem, imm } => {
+                let addr = self.mem_addr(tid, *mem);
+                cost += self.dtlb_cost(tid, addr);
+                let res = self.hier.residency(addr.line());
+                let (_fired, c) = self.probe_effects(tid, ProbeKind::Store, addr.line(), res)?;
+                self.count_data_level(tid, res.data_level());
+                self.hier.write_resident(addr.line(), res);
+                self.write_mem_value(addr, *imm as u64, MemSize::Byte);
+                cost += c;
+            }
+            Instr::LockInc { mem } => {
+                let addr = self.mem_addr(tid, *mem);
+                let t = self.t_mut(tid);
+                let wait = t.pending_mem.saturating_sub(t.clock);
+                cost += wait;
+                cost += self.dtlb_cost(tid, addr);
+                let res = self.hier.residency(addr.line());
+                let (_fired, c) = self.probe_effects(tid, ProbeKind::Lock, addr.line(), res)?;
+                self.count_data_level(tid, res.data_level());
+                self.hier.write_resident(addr.line(), res);
+                let val = self.mem.read_u8(addr).wrapping_add(1);
+                self.mem.write_u8(addr, val);
+                cost += c;
+            }
+            Instr::Clflush { mem } | Instr::Clflushopt { mem } => {
+                let kind = if matches!(op, Instr::Clflush { .. }) {
+                    ProbeKind::Flush
+                } else {
+                    ProbeKind::FlushOpt
+                };
+                let addr = self.mem_addr(tid, *mem);
+                cost += self.dtlb_cost(tid, addr);
+                let res = self.hier.residency(addr.line());
+                let (_fired, c) = self.probe_effects(tid, kind, addr.line(), res)?;
+                self.hier.flush(addr.line());
+                cost += c;
+            }
+            Instr::Clwb { mem } => {
+                let addr = self.mem_addr(tid, *mem);
+                cost += self.dtlb_cost(tid, addr);
+                let res = self.hier.residency(addr.line());
+                let (_fired, c) = self.probe_effects(tid, ProbeKind::Clwb, addr.line(), res)?;
+                self.hier.writeback(addr.line());
+                cost += c;
+            }
+            Instr::PrefetchT0 { mem } | Instr::PrefetchNta { mem } => {
+                let kind = if matches!(op, Instr::PrefetchT0 { .. }) {
+                    ProbeKind::Prefetch
+                } else {
+                    ProbeKind::PrefetchNta
+                };
+                let addr = self.mem_addr(tid, *mem);
+                cost += self.dtlb_cost(tid, addr);
+                let res = self.hier.residency(addr.line());
+                let (fired, c) = self.probe_effects(tid, kind, addr.line(), res)?;
+                if !fired {
+                    self.hier.prefetch(addr.line());
+                }
+                cost += c;
+            }
+            // `CompiledProbe::compile` whitelists the arms above.
+            _ => unreachable!("non-probe op in CompiledProbe"),
+        }
+        self.fused_charge(tid, cost, deferred);
+        Ok(())
+    }
+
+    /// Charge `cost` cycles; with `deferred` the noise epilogue is left to
+    /// the caller's one batched draw (sound only under
+    /// [`Engine::run_fused_probe`]'s no-eviction guard), without it the
+    /// per-instruction epilogue applies via [`Engine::fused_retire`].
+    fn fused_charge(&mut self, tid: ThreadId, cost: u64, deferred: Option<&mut u64>) {
+        match deferred {
+            Some(acc) => {
+                self.t_mut(tid).clock += cost;
+                *acc += cost;
+            }
+            None => self.fused_retire(tid, cost),
+        }
+    }
+
+    /// Charge `cost` cycles and apply the per-instruction noise epilogue
+    /// (`exec`'s last four lines). Callers either invoke this once per
+    /// instruction (interleaving eviction draws with `rdtsc` jitter draws
+    /// in per-step order) or batch several instructions' costs into one
+    /// call where that is provably exact: `evictions_for` is partition-
+    /// invariant, so batching is sound whenever no deferred segment's
+    /// draws would interleave with a jitter draw or hierarchy access.
+    fn fused_retire(&mut self, tid: ThreadId, cost: u64) {
+        self.t_mut(tid).clock += cost;
+        let evictions = self.noise.evictions_for(cost);
+        self.apply_evictions(evictions);
+    }
+
+    /// Inject `n` spurious background L1i evictions (the noise epilogue's
+    /// application half — one `random_set` draw per eviction).
+    fn apply_evictions(&mut self, n: u32) {
+        for _ in 0..n {
+            let set = self.noise.random_set(self.profile.hierarchy.l1i.sets);
+            self.hier.evict_lru_l1i(set);
+        }
+    }
+
     /// Model the front-end fetch of the (pre-computed) line holding the
     /// current instruction. Callers have already checked `last_fetch_line`,
-    /// so this only runs on an actual line switch.
+    /// so this only runs on an actual line switch. Routed through the
+    /// hierarchy's batched multi-line API (as a one-line batch) so every
+    /// fetch path — per-step, injected calls, probes — shares the exact
+    /// front-end sequence the superblock path batches over whole groups.
     fn fetch(&mut self, tid: ThreadId, line: u64) {
+        let mut info = [COLD_ACCESS];
+        self.hier.fetch_lines(std::slice::from_ref(&line), &mut info);
+        let cost = self.fetch_effects(tid, line, info[0]);
+        self.t_mut(tid).clock += cost;
+    }
+
+    /// Per-line bookkeeping for an already-performed hierarchy fetch,
+    /// shared by the per-step path and the superblock batched path:
+    /// fetch-log append, iTLB access, hit-level counters, the stall
+    /// counter, and fetch-window tracking. Returns the fetch's cycle
+    /// cost, which the caller charges to the thread clock at the point
+    /// per-step execution would (immediately for [`Engine::fetch`], at
+    /// the segment boundary for the superblock executor) — nothing here
+    /// reads the thread clock, which is what makes deferring the charge
+    /// exact.
+    fn fetch_effects(&mut self, tid: ThreadId, line: u64, info: AccessInfo) -> u64 {
         if let Some(log) = &mut self.fetch_log {
             log.push(line);
         }
-        let line = Addr(line);
         let mut cost: u64 = 0;
-        if !self.itlb[tid.index()].access(line) {
+        if !self.itlb[tid.index()].access(Addr(line)) {
             cost += self.profile.tlb_walk as u64;
             self.t_mut(tid).counters.add(PerfEvent::ItlbMisses, 1);
         }
-        let info = self.hier.fetch(line);
         match info.level {
             Level::L1i => {}
             Level::L1d | Level::L2 => {
@@ -1078,19 +1716,18 @@ impl Engine {
                 c.add(PerfEvent::LlcMisses, 1);
             }
         }
-        let extra = self.hier.ifetch_extra(info.level) as u64;
+        // For instruction fetches the hierarchy reports `ifetch_extra` as
+        // the access latency.
+        let extra = u64::from(info.latency);
         cost += extra;
-        if self.hier.config().next_line_prefetch {
-            self.hier.prefetch_ifetch(Addr(line.0 + LINE_SIZE));
-        }
         let t = self.t_mut(tid);
-        t.clock += cost;
         if extra > 0 {
             t.counters.add(PerfEvent::CycleActivityStallsTotal, extra);
         }
-        t.last_fetch_line = line.0;
-        t.fetch_window[t.fetch_window_next] = line.0;
+        t.last_fetch_line = line;
+        t.fetch_window[t.fetch_window_next] = line;
         t.fetch_window_next = (t.fetch_window_next + 1) % FETCH_WINDOW;
+        cost
     }
 
     fn mem_addr(&self, tid: ThreadId, m: MemRef) -> Addr {
@@ -1133,35 +1770,38 @@ impl Engine {
     /// clear filter bit disproves both conditions at the cost of one
     /// shift-and-mask. Data-heavy victims issue nearly all their stores at
     /// provably-data lines, so the exact L1i set walk becomes cold.
-    fn smc_conflict(&self, line: Addr) -> bool {
+    fn smc_conflict(&self, line: Addr, in_l1i: bool) -> bool {
         if !self.hier.maybe_in_l1i(line) {
             return false;
         }
-        if self.hier.residency(line).l1i {
+        if in_l1i {
             return true;
         }
         self.threads.iter().any(|t| t.fetch_window.contains(&line.0))
     }
 
     /// Probe-class bookkeeping shared by stores, flushes, prefetches and
-    /// clwb. Returns `(smc_fired, cost_cycles)`.
+    /// clwb. Returns `(smc_fired, cost_cycles)`. `res` is the caller's
+    /// residency snapshot of `line` — every probe arm reads it for the
+    /// cost model anyway, so the SMC check reuses its L1i bit instead of
+    /// re-scanning the set.
     fn probe_effects(
         &mut self,
         tid: ThreadId,
         kind: ProbeKind,
         line: Addr,
-        level: Level,
+        res: Residency,
     ) -> Result<(bool, u64), StepError> {
         let behavior = self.profile.smc.get(kind);
         if behavior == SmcBehavior::Unsupported {
             return Err(StepError::Unsupported { kind });
         }
         let costs = self.profile.probe_costs.get(kind);
-        let fires = behavior == SmcBehavior::Triggers && self.smc_conflict(line);
+        let fires = behavior == SmcBehavior::Triggers && self.smc_conflict(line, res.l1i);
         let cost = if fires {
             (costs.base + costs.smc_extra) as u64
         } else {
-            (costs.base + costs.level_extra(level)) as u64
+            (costs.base + costs.level_extra(res.data_level())) as u64
         };
         if fires {
             self.machine_clear(tid, kind, line);
@@ -1347,11 +1987,11 @@ impl Engine {
                     }
                 } else {
                     cost += self.dtlb_cost(tid, addr);
-                    let level = self.hier.residency(addr.line()).data_level();
+                    let res = self.hier.residency(addr.line());
                     let (_fired, c) =
-                        self.probe_effects(tid, ProbeKind::Store, addr.line(), level)?;
-                    self.count_data_level(tid, level);
-                    self.hier.write(addr.line());
+                        self.probe_effects(tid, ProbeKind::Store, addr.line(), res)?;
+                    self.count_data_level(tid, res.data_level());
+                    self.hier.write_resident(addr.line(), res);
                     self.write_mem_value(addr, val, size);
                     cost += c;
                 }
@@ -1369,11 +2009,10 @@ impl Engine {
                     let wait = t.pending_mem.saturating_sub(t.clock);
                     cost += wait;
                     cost += self.dtlb_cost(tid, addr);
-                    let level = self.hier.residency(addr.line()).data_level();
-                    let (_fired, c) =
-                        self.probe_effects(tid, ProbeKind::Lock, addr.line(), level)?;
-                    self.count_data_level(tid, level);
-                    self.hier.write(addr.line());
+                    let res = self.hier.residency(addr.line());
+                    let (_fired, c) = self.probe_effects(tid, ProbeKind::Lock, addr.line(), res)?;
+                    self.count_data_level(tid, res.data_level());
+                    self.hier.write_resident(addr.line(), res);
                     let val = self.mem.read_u8(addr).wrapping_add(1);
                     self.mem.write_u8(addr, val);
                     cost += c;
@@ -1535,8 +2174,8 @@ impl Engine {
                 } else {
                     let addr = self.mem_addr(tid, *mem);
                     cost += self.dtlb_cost(tid, addr);
-                    let level = self.hier.residency(addr.line()).data_level();
-                    let (_fired, c) = self.probe_effects(tid, kind, addr.line(), level)?;
+                    let res = self.hier.residency(addr.line());
+                    let (_fired, c) = self.probe_effects(tid, kind, addr.line(), res)?;
                     self.hier.flush(addr.line());
                     cost += c;
                 }
@@ -1545,9 +2184,8 @@ impl Engine {
                 if !in_spec {
                     let addr = self.mem_addr(tid, *mem);
                     cost += self.dtlb_cost(tid, addr);
-                    let level = self.hier.residency(addr.line()).data_level();
-                    let (_fired, c) =
-                        self.probe_effects(tid, ProbeKind::Clwb, addr.line(), level)?;
+                    let res = self.hier.residency(addr.line());
+                    let (_fired, c) = self.probe_effects(tid, ProbeKind::Clwb, addr.line(), res)?;
                     self.hier.writeback(addr.line());
                     cost += c;
                 }
@@ -1561,8 +2199,8 @@ impl Engine {
                 if !in_spec {
                     let addr = self.mem_addr(tid, *mem);
                     cost += self.dtlb_cost(tid, addr);
-                    let level = self.hier.residency(addr.line()).data_level();
-                    let (fired, c) = self.probe_effects(tid, kind, addr.line(), level)?;
+                    let res = self.hier.residency(addr.line());
+                    let (fired, c) = self.probe_effects(tid, kind, addr.line(), res)?;
                     if !fired {
                         self.hier.prefetch(addr.line());
                     }

@@ -193,11 +193,12 @@ impl CacheHierarchy {
 
     /// Where is this line cached right now? (Non-mutating.)
     pub fn residency(&self, addr: Addr) -> Residency {
+        let line = addr.line();
         Residency {
-            l1i: self.l1i.contains(addr),
-            l1d: self.l1d.contains(addr),
-            l2: self.l2.contains(addr),
-            llc: self.llc.contains(addr),
+            l1i: self.l1i.contains_line(line),
+            l1d: self.l1d.contains_line(line),
+            l2: self.l2.contains_line(line),
+            llc: self.llc.contains_line(line),
         }
     }
 
@@ -234,16 +235,18 @@ impl CacheHierarchy {
     fn back_invalidate(&mut self, ev: Option<Evicted>) {
         // Inclusive LLC: anything leaving the LLC leaves the core entirely.
         if let Some(ev) = ev {
-            self.l1i.invalidate(ev.line);
-            self.l1d.invalidate(ev.line);
-            self.l2.invalidate(ev.line);
+            self.l1i.invalidate_line(ev.line);
+            self.l1d.invalidate_line(ev.line);
+            self.l2.invalidate_line(ev.line);
         }
     }
 
-    fn fill_shared(&mut self, addr: Addr) {
-        let ev = self.llc.insert(addr, false);
+    /// Fill L2 and the LLC. `line` is line-aligned (all internal callers
+    /// resolve the mask exactly once per access).
+    fn fill_shared(&mut self, line: Addr) {
+        let ev = self.llc.insert_line(line, false);
         self.back_invalidate(ev);
-        self.l2.insert(addr, false);
+        self.l2.insert_line(line, false);
     }
 
     /// Instruction fetch of the line containing `addr`; fills L1i/L2/LLC.
@@ -256,9 +259,10 @@ impl CacheHierarchy {
     /// decisions, and therefore all observable behavior, are bit-identical
     /// to the probe-then-touch formulation at half the set scans.
     pub fn fetch(&mut self, addr: Addr) -> AccessInfo {
-        let in_l1i = self.l1i.touch(addr);
-        let in_l2 = self.l2.touch(addr);
-        let in_llc = self.llc.touch(addr);
+        let line = addr.line();
+        let in_l1i = self.l1i.touch_line(line);
+        let in_l2 = self.l2.touch_line(line);
+        let in_llc = self.llc.touch_line(line);
         let level = if in_l1i {
             Level::L1i
         } else if in_l2 {
@@ -269,11 +273,52 @@ impl CacheHierarchy {
             Level::Dram
         };
         if !in_l1i {
-            self.fill_shared(addr);
-            self.l1i.insert(addr, false);
-            self.l1i_filter.insert(addr);
+            self.fill_shared(line);
+            self.l1i.insert_line(line, false);
+            self.l1i_filter.insert(line);
         }
         AccessInfo { level, latency: self.ifetch_extra(level), was_in_l1i: in_l1i }
+    }
+
+    /// Batched instruction-side fetch of a small slice of line-aligned
+    /// line ids: the whole front-end sequence — [`CacheHierarchy::fetch`]
+    /// plus, when the next-line prefetcher is configured, the silent
+    /// [`CacheHierarchy::prefetch_ifetch`] of each line's successor — in
+    /// exact per-line order, writing each line's pre-fill hit level into
+    /// `infos`. One resolution pass: the line mask is taken once per line
+    /// here and shared across every level's tag scan, instead of N
+    /// independent `fetch` + `prefetch_ifetch` calls re-masking per level.
+    /// Interleaving the prefetch with the fetches (not "all fetches, then
+    /// all prefetches") is what keeps the batch bit-identical to per-line
+    /// execution: line `k`'s fetch must observe line `k-1`'s prefetch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `infos` is shorter than `lines`.
+    pub fn fetch_lines(&mut self, lines: &[u64], infos: &mut [AccessInfo]) {
+        assert!(infos.len() >= lines.len(), "one AccessInfo slot per fetched line");
+        let prefetch = self.cfg.next_line_prefetch;
+        for (&line, info) in lines.iter().zip(infos.iter_mut()) {
+            *info = self.fetch(Addr(line));
+            if prefetch {
+                self.prefetch_ifetch(Addr(line + crate::LINE_SIZE));
+            }
+        }
+    }
+
+    /// Batched data-side read of a small slice of line-aligned line ids
+    /// (the probe tier's data path): [`CacheHierarchy::read`] per line in
+    /// order, writing each line's pre-fill hit level into `infos`, with
+    /// the line mask resolved once per line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `infos` is shorter than `lines`.
+    pub fn touch_lines(&mut self, lines: &[u64], infos: &mut [AccessInfo]) {
+        assert!(infos.len() >= lines.len(), "one AccessInfo slot per touched line");
+        for (&line, info) in lines.iter().zip(infos.iter_mut()) {
+            *info = self.read(Addr(line));
+        }
     }
 
     /// Data read of the line containing `addr`; fills L1d/L2/LLC.
@@ -283,16 +328,17 @@ impl CacheHierarchy {
     /// (their state is untouched on a hit in the original formulation
     /// too — reads do not refresh outer-level LRU).
     pub fn read(&mut self, addr: Addr) -> AccessInfo {
-        let was_in_l1i = self.l1i.contains(addr);
-        if self.l1d.touch(addr) {
+        let line = addr.line();
+        let was_in_l1i = self.l1i.contains_line(line);
+        if self.l1d.touch_line(line) {
             return AccessInfo {
                 level: Level::L1d,
                 latency: self.latency_of(Level::L1d),
                 was_in_l1i,
             };
         }
-        let in_l2 = self.l2.contains(addr);
-        let in_llc = self.llc.contains(addr);
+        let in_l2 = self.l2.contains_line(line);
+        let in_llc = self.llc.contains_line(line);
         let level = if in_l2 {
             Level::L2
         } else if in_llc {
@@ -300,8 +346,8 @@ impl CacheHierarchy {
         } else {
             Level::Dram
         };
-        self.fill_shared(addr);
-        self.l1d.insert(addr, false);
+        self.fill_shared(line);
+        self.l1d.insert_line(line, false);
         AccessInfo { level, latency: self.latency_of(level), was_in_l1i }
     }
 
@@ -311,20 +357,21 @@ impl CacheHierarchy {
     /// modified line — and marks the L1d copy dirty. Same L1d-hit fast
     /// path as [`CacheHierarchy::read`].
     pub fn write(&mut self, addr: Addr) -> AccessInfo {
-        let was_in_l1i = self.l1i.contains(addr);
+        let line = addr.line();
+        let was_in_l1i = self.l1i.contains_line(line);
         if was_in_l1i {
-            self.l1i.invalidate(addr);
+            self.l1i.invalidate_line(line);
         }
-        if self.l1d.touch(addr) {
-            self.l1d.mark_dirty(addr);
+        if self.l1d.touch_line(line) {
+            self.l1d.mark_dirty_line(line);
             return AccessInfo {
                 level: Level::L1d,
                 latency: self.latency_of(Level::L1d),
                 was_in_l1i,
             };
         }
-        let in_l2 = self.l2.contains(addr);
-        let in_llc = self.llc.contains(addr);
+        let in_l2 = self.l2.contains_line(line);
+        let in_llc = self.llc.contains_line(line);
         let level = if in_l2 {
             Level::L2
         } else if in_llc {
@@ -332,17 +379,53 @@ impl CacheHierarchy {
         } else {
             Level::Dram
         };
-        self.fill_shared(addr);
-        self.l1d.insert(addr, true);
+        self.fill_shared(line);
+        self.l1d.insert_line(line, true);
         AccessInfo { level, latency: self.latency_of(level), was_in_l1i }
+    }
+
+    /// [`CacheHierarchy::write`] reusing a residency snapshot the caller
+    /// already computed — the probe hot path reads residency for its cost
+    /// model immediately before writing, and re-scanning four levels per
+    /// probe is measurable at millions of probes per trial.
+    ///
+    /// `res` must come from [`CacheHierarchy::residency`] on the same line
+    /// with no intervening L1d/L2/LLC mutation. The L1i state *may* have
+    /// changed (an SMC machine clear invalidates the line between the
+    /// residency read and the write), which only turns the invalidation
+    /// into a no-op; `was_in_l1i` reports the snapshot's bit.
+    pub fn write_resident(&mut self, addr: Addr, res: Residency) -> AccessInfo {
+        let line = addr.line();
+        if res.l1i {
+            self.l1i.invalidate_line(line);
+        }
+        if self.l1d.touch_line(line) {
+            self.l1d.mark_dirty_line(line);
+            return AccessInfo {
+                level: Level::L1d,
+                latency: self.latency_of(Level::L1d),
+                was_in_l1i: res.l1i,
+            };
+        }
+        let level = if res.l2 {
+            Level::L2
+        } else if res.llc {
+            Level::Llc
+        } else {
+            Level::Dram
+        };
+        self.fill_shared(line);
+        self.l1d.insert_line(line, true);
+        AccessInfo { level, latency: self.latency_of(level), was_in_l1i: res.l1i }
     }
 
     /// `clflush`/`clflushopt`: invalidate the line from every level.
     pub fn flush(&mut self, addr: Addr) -> FlushInfo {
-        let res = self.residency(addr);
+        let line = addr.line();
+        let res = self.residency(line);
         let mut wrote_back = false;
         for c in [&mut self.l1i, &mut self.l1d, &mut self.l2, &mut self.llc] {
-            if let Some(ev) = c.invalidate(addr) {
+            if let Some(ev) = c.invalidate_line(line) {
                 wrote_back |= ev.dirty;
             }
         }
@@ -351,10 +434,11 @@ impl CacheHierarchy {
 
     /// `clwb`: write back any dirty copy but keep the line valid.
     pub fn writeback(&mut self, addr: Addr) -> FlushInfo {
-        let res = self.residency(addr);
+        let line = addr.line();
+        let res = self.residency(line);
         let mut wrote_back = false;
         for c in [&mut self.l1i, &mut self.l1d, &mut self.l2, &mut self.llc] {
-            wrote_back |= c.clean(addr);
+            wrote_back |= c.clean_line(line);
         }
         FlushInfo { was_cached: res.cached_anywhere(), was_in_l1i: res.l1i, wrote_back }
     }
@@ -373,9 +457,9 @@ impl CacheHierarchy {
     /// `ifetch_extra_l2`), not an L1i fill. Keeping prefetches out of the
     /// L1i matters for SMC probing: only genuinely fetched lines conflict.
     pub fn prefetch_ifetch(&mut self, addr: Addr) {
-        let res = self.residency(addr);
-        if !res.l2 && !res.llc {
-            self.fill_shared(addr);
+        let line = addr.line();
+        if !self.l2.contains_line(line) && !self.llc.contains_line(line) {
+            self.fill_shared(line);
         }
     }
 

@@ -11,7 +11,9 @@
 use crate::addr::Addr;
 use crate::asm::Program;
 use crate::counters::CounterBank;
-use crate::engine::{Engine, InjectedNext, SeqOutcome, StepError, ThreadId, ThreadState};
+use crate::engine::{
+    CompiledProbe, Engine, InjectedNext, SeqOutcome, StepError, ThreadId, ThreadState,
+};
 use crate::hierarchy::Residency;
 use crate::isa::{Instr, Reg};
 use crate::noise::NoiseConfig;
@@ -142,6 +144,23 @@ impl Machine {
     /// Whether superblock execution is active.
     pub fn superblocks(&self) -> bool {
         self.engine.superblocks()
+    }
+
+    /// Enable or disable the fused probe tier (one-pass retirement of
+    /// compiled `mfence; rdtsc; <op>; mfence; rdtsc` probe sequences and
+    /// batched idle advances) — see [`Engine::set_fused_probes`]. The
+    /// default comes from the `SMACK_FUSED_PROBES` environment variable
+    /// (`0` = off, anything else = on, unset = on), mirroring
+    /// `SMACK_SUPERBLOCK`; output is bit-identical either way, so the
+    /// toggle exists for the CI determinism gate and for benchmarking the
+    /// per-step probe path. Reset restores the default.
+    pub fn set_fused_probes(&mut self, on: bool) {
+        self.engine.set_fused_probes(on);
+    }
+
+    /// Whether the fused probe tier is active.
+    pub fn fused_probes(&self) -> bool {
+        self.engine.fused_probes()
     }
 
     /// The microarchitecture profile.
@@ -408,6 +427,70 @@ impl Machine {
         Ok(SeqOutcome { cycles: end_clock - start, end_clock })
     }
 
+    /// Execute a compiled probe sequence on an idle thread: one fused
+    /// engine pass when the guards allow it ([`Engine::run_fused_probe`]),
+    /// falling back to injecting the five instructions per-step via
+    /// [`Machine::run_sequence`] otherwise. Same outcome either way, by
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StepError`] (e.g. unsupported probe classes).
+    pub fn run_probe(
+        &mut self,
+        tid: ThreadId,
+        probe: &CompiledProbe,
+    ) -> Result<SeqOutcome, StepError> {
+        match self.engine.run_fused_probe(tid, probe) {
+            Some(outcome) => outcome,
+            None => self.run_sequence(tid, probe.instrs()),
+        }
+    }
+
+    /// Call the line at `target` on an idle thread: one fused engine pass
+    /// when the guards and the callee's shape allow it
+    /// ([`Engine::run_fused_call`] — the callee must be an attacker-style
+    /// one-line `nop*; ret` routine), falling back to injecting the `call`
+    /// per-step via [`Machine::run_sequence`] otherwise. Same outcome
+    /// either way, by construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StepError`] from either thread on the fallback path
+    /// (the fused pass itself cannot fail).
+    pub fn run_call(&mut self, tid: ThreadId, target: u64) -> Result<SeqOutcome, StepError> {
+        match self.engine.run_fused_call(tid, target) {
+            Some(outcome) => Ok(outcome),
+            None => self.run_sequence(tid, &[Instr::Call { target }]),
+        }
+    }
+
+    /// Call every line in `targets` back to back on an idle thread: one
+    /// fused engine pass for the whole batch when the guards, every
+    /// callee's shape and the noise schedule allow it
+    /// ([`Engine::run_fused_calls`]), falling back to per-call
+    /// [`Machine::run_call`] otherwise — an eviction set primes its eight
+    /// ways in a single engine entry instead of eight. Same outcome either
+    /// way, by construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StepError`] from either thread on the fallback path
+    /// (the fused pass itself cannot fail).
+    pub fn run_calls(&mut self, tid: ThreadId, targets: &[u64]) -> Result<SeqOutcome, StepError> {
+        if let Some(outcome) = self.engine.run_fused_calls(tid, targets) {
+            return Ok(outcome);
+        }
+        let mut cycles = 0;
+        let mut end_clock = self.engine.clock(tid);
+        for &target in targets {
+            let out = self.run_call(tid, target)?;
+            cycles += out.cycles;
+            end_clock = out.end_clock;
+        }
+        Ok(SeqOutcome { cycles, end_clock })
+    }
+
     /// Let `cycles` pass on `tid` (a "dummy for loop"), still interleaving
     /// the sibling.
     ///
@@ -415,6 +498,12 @@ impl Machine {
     ///
     /// Propagates [`StepError`] from the sibling's program.
     pub fn advance(&mut self, tid: ThreadId, cycles: u64) -> Result<(), StepError> {
+        // Fused fast path: when no other thread can run there is nothing
+        // to interleave, so the whole wait collapses to one batched
+        // engine update (bit-identical to the chunked loop below).
+        if self.engine.advance_idle(tid, cycles) {
+            return Ok(());
+        }
         let mut left = cycles;
         while left > 0 {
             let chunk = left.min(200) as u32;

@@ -305,6 +305,338 @@ proptest! {
     }
 }
 
+/// Fused probe execution is held to the same bar as the decoded and
+/// superblock tiers: running a probe template through [`Machine::run_probe`]
+/// with fusion enabled must be bit-identical — registers, both clocks,
+/// memory, timings, and hardware counters — to the per-step injected
+/// sequence, across probe classes, cold placements, injected noise, waits,
+/// and mid-run SMC patches of the probed line.
+mod fused_probes {
+    use super::*;
+    use smack_uarch::isa::{Instr, MemRef, MemSize};
+    use smack_uarch::{Addr, CompiledProbe, PerfEvent, Placement, StepError};
+
+    /// The probed line holds a real routine, so write-class probes hit a
+    /// resident instruction line (the SMC machine-clear path) and
+    /// `Execute` actions can call it.
+    const TARGET: u64 = 0x30_0000;
+
+    const MEM: MemRef = MemRef { base: Reg::R13, disp: 0 };
+
+    /// Every routine starts with `nop`: the store probe writes `0x90` at
+    /// offset 0, so the first byte stays a valid instruction no matter how
+    /// probes and executes interleave (same trick the covert channels'
+    /// oracle pages use).
+    fn oracle(kind: u8) -> Program {
+        let mut a = Assembler::new(TARGET);
+        match kind % 3 {
+            0 => a.nop().nop().ret(),
+            1 => a.nop().add(Reg::R0, Reg::R1).ret(),
+            _ => a.nop().add_imm(Reg::R0, 7).nop().ret(),
+        };
+        a.assemble().expect("oracle assembles")
+    }
+
+    /// The eight fusable probe operations (paper Listing 2 minus the
+    /// `Execute` probe, whose timed `call` cannot fuse).
+    fn probe_op(op: u8) -> Instr {
+        match op % 8 {
+            0 => Instr::Load { dst: Reg::R12, mem: MEM, size: MemSize::Quad },
+            1 => Instr::StoreImm { mem: MEM, imm: 0x90 },
+            2 => Instr::LockInc { mem: MEM },
+            3 => Instr::Clflush { mem: MEM },
+            4 => Instr::Clflushopt { mem: MEM },
+            5 => Instr::Clwb { mem: MEM },
+            6 => Instr::PrefetchT0 { mem: MEM },
+            _ => Instr::PrefetchNta { mem: MEM },
+        }
+    }
+
+    fn template(op: u8) -> [Instr; 5] {
+        [
+            Instr::Mfence,
+            Instr::Rdtsc { dst: Reg::R14 },
+            probe_op(op),
+            Instr::Mfence,
+            Instr::Rdtsc { dst: Reg::R15 },
+        ]
+    }
+
+    fn placement(p: u8) -> Placement {
+        [Placement::L1i, Placement::L1d, Placement::L2, Placement::Llc, Placement::DramOnly]
+            [p as usize % 5]
+    }
+
+    #[derive(Copy, Clone, Debug)]
+    enum Action {
+        /// Optionally re-place the target line, then run one timed probe.
+        Probe { op: u8, place: Option<u8> },
+        /// Prime→probe busy-wait ([`Machine::advance`] fast path).
+        Wait(u16),
+        /// Execute (call) the target line via [`Machine::run_call`] — the
+        /// priming primitive, taking the fused-call tier when the routine's
+        /// shape allows — which makes the line L1i-resident, so the next
+        /// write-class probe takes the machine-clear path.
+        Execute,
+        /// Execute the target line `n` times through the *batched*
+        /// [`Machine::run_calls`] entry (an eviction set primes its ways
+        /// this way).
+        ExecuteBatch(u8),
+        /// Rewrite the probed routine in place (SMC patch between probes).
+        Patch(u8),
+    }
+
+    fn action_strategy() -> impl Strategy<Value = Action> {
+        // Probes twice, so roughly half the drawn actions are probes.
+        // `place >= 5` means "leave the line where the last action put it".
+        let probe = || {
+            (0u8..8, 0u8..8)
+                .prop_map(|(op, place)| Action::Probe { op, place: (place < 5).then_some(place) })
+        };
+        prop_oneof![
+            probe(),
+            probe(),
+            (0u16..3000).prop_map(Action::Wait),
+            Just(Action::Execute),
+            (1u8..4).prop_map(Action::ExecuteBatch),
+            (0u8..3).prop_map(Action::Patch),
+        ]
+    }
+
+    /// Everything the fused tier must preserve, plus the fast-path /
+    /// fallback counts (compared separately — they are the only counters
+    /// allowed to differ between the two configurations).
+    #[derive(PartialEq, Debug)]
+    struct ProbeOutcome {
+        regs: Vec<u64>,
+        clock_t0: u64,
+        clock_t1: u64,
+        timings: Vec<(u64, u64)>,
+        mem: Vec<u8>,
+        hw_counters: Vec<(&'static str, u64)>,
+        err: Option<String>,
+    }
+
+    fn is_sim_probe_counter(e: PerfEvent) -> bool {
+        matches!(e, PerfEvent::SimProbeFastPath | PerfEvent::SimProbeFallback)
+    }
+
+    /// Run `actions` on a fresh machine and capture the observable state.
+    /// Errors (e.g. a probe-corrupted routine failing to execute) stop the
+    /// run; both configurations must stop at the same action with the same
+    /// error. Returns the outcome, the `(fast_path, fallback)` counts, and
+    /// the number of fuse-eligible attempts made (probes plus calls — each
+    /// attempt bumps exactly one of the two counters, except a probe that
+    /// errors mid-body on the fused path, which bumps neither).
+    fn run_actions(
+        actions: &[Action],
+        oracle_kind: u8,
+        fused: bool,
+        noise_seed: Option<u64>,
+    ) -> (ProbeOutcome, u64, u64, u64) {
+        let profile = MicroArch::CascadeLake.profile();
+        let mut m = match noise_seed {
+            Some(seed) => Machine::with_noise(profile, NoiseConfig::realistic(), seed),
+            None => Machine::new(profile),
+        };
+        m.set_fused_probes(fused);
+        m.load_program(&oracle(oracle_kind));
+        m.warm_tlb(T0, Addr(TARGET));
+        m.set_reg(T0, Reg::R13, TARGET);
+        let mut timings = Vec::new();
+        let mut err = None;
+        let mut attempts = 0u64;
+        for action in actions {
+            let r: Result<(), StepError> = match *action {
+                Action::Probe { op, place } => {
+                    if let Some(p) = place {
+                        m.place_line(Addr(TARGET), placement(p));
+                    }
+                    let probe =
+                        CompiledProbe::compile(&template(op)).expect("probe template compiles");
+                    attempts += 1;
+                    m.run_probe(T0, &probe).map(|out| timings.push((out.cycles, out.end_clock)))
+                }
+                Action::Wait(cycles) => m.advance(T0, cycles as u64),
+                Action::Execute => {
+                    attempts += 1;
+                    m.run_call(T0, TARGET).map(|_| ())
+                }
+                Action::ExecuteBatch(n) => {
+                    attempts += n as u64;
+                    let targets = [TARGET; 3];
+                    m.run_calls(T0, &targets[..n as usize]).map(|_| ())
+                }
+                Action::Patch(kind) => {
+                    m.patch_program(&oracle(kind));
+                    Ok(())
+                }
+            };
+            if let Err(e) = r {
+                err = Some(e.to_string());
+                break;
+            }
+        }
+        let mut hw_counters = Vec::new();
+        for tid in [T0, T1] {
+            for e in PerfEvent::ALL {
+                if !is_sim_probe_counter(e) {
+                    hw_counters.push((e.name(), m.counters(tid).read(e)));
+                }
+            }
+        }
+        let fast = m.counters(T0).read(PerfEvent::SimProbeFastPath);
+        let fallback = m.counters(T0).read(PerfEvent::SimProbeFallback);
+        let outcome = ProbeOutcome {
+            regs: (0..Reg::COUNT).map(|i| m.reg(T0, Reg::from_index(i))).collect(),
+            clock_t0: m.clock(T0),
+            clock_t1: m.clock(T1),
+            timings,
+            mem: m.read_bytes(Addr(TARGET), 64),
+            hw_counters,
+            err,
+        };
+        (outcome, fast, fallback, attempts)
+    }
+
+    fn probes_run(o: &ProbeOutcome) -> u64 {
+        o.timings.len() as u64
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Fused vs per-step probe execution over arbitrary interleavings
+        /// of probes, placements, waits, executes, and SMC patches.
+        #[test]
+        fn prop_fused_probes_match_per_step(
+            actions in proptest::collection::vec(action_strategy(), 1..40),
+            oracle_kind in 0u8..3,
+        ) {
+            let (reference, ref_fast, ref_fb, attempts) =
+                run_actions(&actions, oracle_kind, false, None);
+            let (fused, fused_fast, fused_fb, _) =
+                run_actions(&actions, oracle_kind, true, None);
+            prop_assert_eq!(&fused, &reference, "fused probes diverged");
+            // With fusion off nothing fuses, and every attempt (probe or
+            // call) is refused up front, so it counts as a fallback even if
+            // the per-step execution then errors.
+            prop_assert_eq!(ref_fast, 0);
+            prop_assert_eq!(ref_fb, attempts, "every attempt refused per-step");
+            // With fusion on (both threads idle, no tracing) probes always
+            // fuse; only calls may fall back — and only when the routine's
+            // shape is not `nop*; ret` on one line. Every attempt bumps
+            // exactly one counter, except a probe erroring mid-body on the
+            // fused path (it stops the run, so at most one is missing).
+            prop_assert!(
+                fused_fast >= probes_run(&fused),
+                "fast {} < {} probes", fused_fast, probes_run(&fused)
+            );
+            let done = attempts - u64::from(fused.err.is_some());
+            prop_assert!(
+                fused_fast + fused_fb >= done && fused_fast + fused_fb <= attempts,
+                "fast {} + fallback {} vs {} attempts", fused_fast, fused_fb, attempts
+            );
+            let always_fusable = oracle_kind == 0
+                && actions.iter().all(|a| !matches!(a, Action::Patch(k) if k % 3 != 0));
+            if always_fusable && fused.err.is_none() {
+                // `nop.nop.ret` is exactly the fusable call shape, so with
+                // fusion on *everything* takes the fast path.
+                prop_assert_eq!(fused_fb, 0, "fusable oracle never falls back");
+                prop_assert_eq!(fused_fast, attempts);
+            }
+        }
+
+        /// Same equivalence under injected eviction noise: the fused tier
+        /// must draw per-instruction noise in exactly the per-step order.
+        #[test]
+        fn prop_fused_probes_match_under_noise(
+            actions in proptest::collection::vec(action_strategy(), 1..30),
+            oracle_kind in 0u8..3,
+            seed in any::<u64>(),
+        ) {
+            let (reference, _, _, attempts) = run_actions(&actions, oracle_kind, false, Some(seed));
+            let (fused, fused_fast, fused_fb, _) =
+                run_actions(&actions, oracle_kind, true, Some(seed));
+            prop_assert_eq!(&fused, &reference, "fused probes diverged under noise");
+            let done = attempts - u64::from(fused.err.is_some());
+            prop_assert!(
+                fused_fast + fused_fb >= done && fused_fast + fused_fb <= attempts,
+                "fast {} + fallback {} vs {} attempts", fused_fast, fused_fb, attempts
+            );
+        }
+    }
+
+    /// The compiler recognizes exactly the probe template shape: all eight
+    /// fusable operations compile, the `Execute` probe (timed `call`) and
+    /// malformed shapes do not.
+    #[test]
+    fn compile_accepts_probe_templates_only() {
+        for op in 0..8u8 {
+            let probe = CompiledProbe::compile(&template(op)).expect("fusable op compiles");
+            assert_eq!(probe.instrs(), &template(op), "fallback sequence preserved");
+        }
+        let execute = [
+            Instr::Mfence,
+            Instr::Rdtsc { dst: Reg::R14 },
+            Instr::CallReg { target: Reg::R13 },
+            Instr::Mfence,
+            Instr::Rdtsc { dst: Reg::R15 },
+        ];
+        assert!(CompiledProbe::compile(&execute).is_none(), "timed call cannot fuse");
+        let mut no_fence = template(0);
+        no_fence[0] = Instr::Nop;
+        assert!(CompiledProbe::compile(&no_fence).is_none());
+        let mut no_rdtsc = template(0);
+        no_rdtsc[4] = Instr::Nop;
+        assert!(CompiledProbe::compile(&no_rdtsc).is_none());
+    }
+
+    /// Observability guards force the per-step path: with tracing enabled
+    /// the fused tier must refuse (the trace must show every instruction),
+    /// and the refusal is counted.
+    #[test]
+    fn tracing_forces_fallback() {
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        m.load_program(&oracle(0));
+        m.warm_tlb(T0, Addr(TARGET));
+        m.place_line(Addr(TARGET), Placement::L1i);
+        m.set_reg(T0, Reg::R13, TARGET);
+        // A store probe against the L1i-resident line: the machine clear
+        // must land in the trace, which only the per-step path feeds.
+        let probe = CompiledProbe::compile(&template(1)).unwrap();
+        m.enable_trace(1024);
+        m.run_probe(T0, &probe).unwrap();
+        assert_eq!(m.counters(T0).read(PerfEvent::SimProbeFastPath), 0);
+        assert_eq!(m.counters(T0).read(PerfEvent::SimProbeFallback), 1);
+        assert!(!m.take_trace().is_empty(), "per-step path left a trace");
+    }
+
+    /// A runnable sibling also forces the per-step path: the sibling's
+    /// program must interleave by clock order through the probe.
+    #[test]
+    fn running_sibling_forces_fallback() {
+        let mut m = Machine::new(MicroArch::CascadeLake.profile());
+        m.load_program(&oracle(0));
+        let mut a = Assembler::new(0x50_0000);
+        a.mov_imm(Reg::R0, 0)
+            .label("loop")
+            .add_imm(Reg::R0, 1)
+            .cmp_imm(Reg::R0, 50_000)
+            .jne("loop")
+            .halt();
+        let sibling = a.assemble().unwrap();
+        m.load_program(&sibling);
+        m.start_program(T1, sibling.entry(), &[]);
+        m.set_reg(T0, Reg::R13, TARGET);
+        let probe = CompiledProbe::compile(&template(1)).unwrap();
+        m.run_probe(T0, &probe).unwrap();
+        assert_eq!(m.counters(T0).read(PerfEvent::SimProbeFastPath), 0);
+        assert_eq!(m.counters(T0).read(PerfEvent::SimProbeFallback), 1);
+        assert!(m.clock(T1) > 0, "sibling interleaved during the probe");
+    }
+}
+
 /// Dual-thread equivalence: a victim loop on T1 driven causally while T0
 /// runs its own program — the scheduling the covert channels rely on.
 #[test]
