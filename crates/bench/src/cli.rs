@@ -9,14 +9,25 @@
 //! ```text
 //! all [EXPERIMENT..] [--full] [--threads N] [--shard K/N] [--shards N]
 //!     [--out DIR] [--tau-jitter N] [--merge DIR.. ] [--list]
+//! all coordinate [EXPERIMENT..] [--workers N] [--addr HOST:PORT]
+//!     [--lease-ms N] [--grace-ms N] [--timeout-ms N] [common flags]
+//! all work --connect HOST:PORT [--threads N]
 //! ```
 //!
 //! * `--shard K/N` — run only the units this shard owns, writing
 //!   unit-tagged partial CSVs (merge them with `--merge`).
-//! * `--shards N` — orchestrate: spawn one `--shard k/N` child process
-//!   per shard (sharing the persistent calibration cache), then merge the
-//!   partial CSVs into the output directory — bit-identical to the
-//!   unsharded run.
+//! * `--shards N` — distribute: run the fault-tolerant experiment
+//!   service ([`crate::service`]) with N spawned worker processes, then
+//!   merge the unit-tagged partial CSVs into the output directory —
+//!   bit-identical to the unsharded run even under worker crashes.
+//! * `coordinate` — run the service coordinator explicitly: `--workers
+//!   N` spawns a fleet (0 = wait for external workers, degrading to
+//!   in-process execution after `--grace-ms`), `--addr` picks the listen
+//!   address, `--lease-ms` the heartbeat deadline and `--timeout-ms` the
+//!   whole-run wall-clock bound.
+//! * `work` — run a worker: connect to a coordinator, execute leased
+//!   units, stream partial CSVs back. Mode and τ jitter arrive with each
+//!   lease, so workers take no experiment flags.
 //! * `--merge DIR..` — merge previously written shard directories.
 //! * `--out DIR` — CSV output directory (default `target/repro/`).
 //! * `--tau-jitter N` — jitter the fig5/table2 exposure window by ±N
@@ -35,6 +46,11 @@ use smack::session::Sessions;
 use crate::registry::{self, Experiment, Group, RunSpec};
 use crate::report;
 use crate::runner::{Runner, Shard};
+use crate::service::chaos::ChaosPlan;
+use crate::service::coordinator::{
+    Service, ServiceConfig, DEFAULT_GRACE_MS, DEFAULT_LEASE_MS, DEFAULT_TIMEOUT_MS,
+};
+use crate::service::worker::{run_worker, WorkerConfig};
 use crate::Mode;
 
 /// What a binary runs when no experiment names are given.
@@ -48,9 +64,22 @@ pub enum Selection {
     Named(&'static str),
 }
 
+/// The subcommand: a plain experiment run, the service coordinator, or
+/// a service worker.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Cmd {
+    /// Run experiments in this process (possibly via `--shards N`).
+    Run,
+    /// Run the experiment-service coordinator (`coordinate`).
+    Coordinate,
+    /// Run an experiment-service worker (`work`).
+    Work,
+}
+
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
 struct Args {
+    cmd: Cmd,
     names: Vec<String>,
     mode: Mode,
     threads: Option<usize>,
@@ -60,13 +89,23 @@ struct Args {
     tau_jitter: u64,
     merge: bool,
     list: bool,
+    addr: Option<String>,
+    connect: Option<String>,
+    workers: Option<usize>,
+    lease_ms: u64,
+    grace_ms: u64,
+    timeout_ms: u64,
 }
 
 const USAGE: &str = "usage: <bin> [EXPERIMENT..] [--full] [--threads N] [--shard K/N] \
-                     [--shards N] [--out DIR] [--tau-jitter N] [--merge DIR..] [--list]";
+                     [--shards N] [--out DIR] [--tau-jitter N] [--merge DIR..] [--list]\n\
+       <bin> coordinate [EXPERIMENT..] [--workers N] [--addr HOST:PORT] [--lease-ms N] \
+                     [--grace-ms N] [--timeout-ms N] [common flags]\n\
+       <bin> work --connect HOST:PORT [--threads N]";
 
 fn parse(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
+        cmd: Cmd::Run,
         names: Vec::new(),
         mode: Mode::Quick,
         threads: None,
@@ -76,6 +115,23 @@ fn parse(argv: &[String]) -> Result<Args, String> {
         tau_jitter: 0,
         merge: false,
         list: false,
+        addr: None,
+        connect: None,
+        workers: None,
+        lease_ms: DEFAULT_LEASE_MS,
+        grace_ms: DEFAULT_GRACE_MS,
+        timeout_ms: DEFAULT_TIMEOUT_MS,
+    };
+    let argv = match argv.first().map(String::as_str) {
+        Some("coordinate") => {
+            args.cmd = Cmd::Coordinate;
+            &argv[1..]
+        }
+        Some("work") => {
+            args.cmd = Cmd::Work;
+            &argv[1..]
+        }
+        _ => argv,
     };
     let mut it = argv.iter().peekable();
     let value_of = |flag: &str,
@@ -115,6 +171,32 @@ fn parse(argv: &[String]) -> Result<Args, String> {
                 args.tau_jitter =
                     v.parse::<u64>().map_err(|_| format!("bad --tau-jitter value `{v}`"))?;
             }
+            a if a == "--addr" || a.starts_with("--addr=") => {
+                args.addr = Some(value_of("--addr", &mut it, a)?);
+            }
+            a if a == "--connect" || a.starts_with("--connect=") => {
+                args.connect = Some(value_of("--connect", &mut it, a)?);
+            }
+            a if a == "--workers" || a.starts_with("--workers=") => {
+                let v = value_of("--workers", &mut it, a)?;
+                args.workers =
+                    Some(v.parse::<usize>().map_err(|_| format!("bad --workers value `{v}`"))?);
+            }
+            a if a == "--lease-ms" || a.starts_with("--lease-ms=") => {
+                let v = value_of("--lease-ms", &mut it, a)?;
+                let n = v.parse::<u64>().ok().filter(|n| *n > 0);
+                args.lease_ms = n.ok_or_else(|| format!("bad --lease-ms value `{v}`"))?;
+            }
+            a if a == "--grace-ms" || a.starts_with("--grace-ms=") => {
+                let v = value_of("--grace-ms", &mut it, a)?;
+                args.grace_ms =
+                    v.parse::<u64>().map_err(|_| format!("bad --grace-ms value `{v}`"))?;
+            }
+            a if a == "--timeout-ms" || a.starts_with("--timeout-ms=") => {
+                let v = value_of("--timeout-ms", &mut it, a)?;
+                let n = v.parse::<u64>().ok().filter(|n| *n > 0);
+                args.timeout_ms = n.ok_or_else(|| format!("bad --timeout-ms value `{v}`"))?;
+            }
             a if a.starts_with("--") => return Err(format!("unknown flag `{a}`")),
             name => args.names.push(name.to_owned()),
         }
@@ -123,7 +205,39 @@ fn parse(argv: &[String]) -> Result<Args, String> {
         return Err("--merge cannot be combined with --shard/--shards".to_owned());
     }
     if args.shards.is_some() && !args.shard.is_solo() {
-        return Err("--shards spawns its own --shard children".to_owned());
+        return Err("--shards spawns its own worker fleet".to_owned());
+    }
+    if args.connect.is_some() && args.cmd != Cmd::Work {
+        return Err("--connect only makes sense for the `work` subcommand".to_owned());
+    }
+    match args.cmd {
+        Cmd::Work => {
+            if args.connect.is_none() {
+                return Err("work needs --connect HOST:PORT".to_owned());
+            }
+            if !args.names.is_empty()
+                || args.merge
+                || args.shards.is_some()
+                || !args.shard.is_solo()
+            {
+                return Err("workers take no experiments or shard flags; \
+                            every run parameter arrives with its lease"
+                    .to_owned());
+            }
+        }
+        Cmd::Coordinate => {
+            if args.merge || args.shards.is_some() || !args.shard.is_solo() {
+                return Err("coordinate owns the whole unit space; drop --shard/--shards/--merge"
+                    .to_owned());
+            }
+        }
+        Cmd::Run => {
+            if args.workers.is_some() || args.addr.is_some() {
+                return Err("--workers/--addr belong to the `coordinate` subcommand \
+                            (plain runs distribute with --shards N)"
+                    .to_owned());
+            }
+        }
     }
     Ok(args)
 }
@@ -181,68 +295,75 @@ fn calib_dir(out_root: &std::path::Path) -> PathBuf {
         .map_or_else(|| out_root.join("calib"), PathBuf::from)
 }
 
-/// Orchestrate `--shards N`: spawn one child per shard (same selection,
-/// same flags, `--shard k/N`, its own `--out <root>/shards/shard-k`,
-/// and the shared calibration cache via `SMACK_CALIB_DIR`), then merge
-/// the unit-tagged partial CSVs into the output root. Children write
-/// their output to `<shard dir>/shard.log` (echoed after completion), so
-/// a chatty full-mode child never blocks on a pipe while the others run.
-fn run_sharded(
+/// Distribute a run through the experiment service: bind the
+/// coordinator, spawn `workers` worker processes (0 = external fleet /
+/// inline degradation), serve leases until every unit has exactly one
+/// accepted result, merge. Replaces the old fork-per-shard orchestration
+/// — `all --shards N` is now a thin client of this path, and a crashed
+/// or hung worker costs one lease period instead of the whole run.
+fn run_service(
     args: &Args,
-    n: usize,
-    selection: &[&Experiment],
+    workers: usize,
+    selection: &[&'static Experiment],
     out_root: &std::path::Path,
 ) -> Result<(), String> {
-    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
     let calib = calib_dir(out_root);
-    let mut children = Vec::new();
-    let total = std::time::Instant::now();
-    for k in 1..=n {
-        let shard_dir = out_root.join("shards").join(format!("shard-{k}"));
-        std::fs::create_dir_all(&shard_dir)
-            .map_err(|e| format!("creating {}: {e}", shard_dir.display()))?;
-        let log_path = shard_dir.join("shard.log");
-        let log = std::fs::File::create(&log_path)
-            .map_err(|e| format!("creating {}: {e}", log_path.display()))?;
-        let log_err = log.try_clone().map_err(|e| format!("cloning log handle: {e}"))?;
-        let mut cmd = std::process::Command::new(&exe);
-        cmd.args(selection.iter().map(|e| e.name))
-            .arg(format!("--shard={k}/{n}"))
-            .arg(format!("--out={}", shard_dir.display()))
-            .arg(format!("--tau-jitter={}", args.tau_jitter))
-            .env("SMACK_CALIB_DIR", &calib)
-            .stdout(log)
-            .stderr(log_err);
-        if args.mode == Mode::Full {
-            cmd.arg("--full");
-        }
-        if let Some(t) = args.threads {
-            cmd.arg(format!("--threads={t}"));
-        }
-        let child = cmd.spawn().map_err(|e| format!("spawning shard {k}/{n}: {e}"))?;
-        children.push((k, shard_dir, log_path, child));
-    }
-    let mut shard_dirs = Vec::new();
-    for (k, shard_dir, log_path, mut child) in children {
-        let status = child.wait().map_err(|e| format!("shard {k}/{n}: {e}"))?;
-        println!("──── shard {k}/{n} ────");
-        print!("{}", std::fs::read_to_string(&log_path).unwrap_or_default());
-        if !status.success() {
-            return Err(format!("shard {k}/{n} failed with {status}"));
-        }
-        shard_dirs.push(shard_dir);
-    }
-    let merged = report::merge_shard_dirs(&shard_dirs, out_root)
-        .map_err(|e| format!("merging shard CSVs: {e}"))?;
-    report::banner("sharded run");
+    let cfg = ServiceConfig {
+        selection: selection.to_vec(),
+        mode: args.mode,
+        threads: args.threads,
+        tau_jitter: args.tau_jitter,
+        out_root: out_root.to_path_buf(),
+        bind: args.addr.clone().unwrap_or_else(|| "127.0.0.1:0".to_owned()),
+        workers,
+        lease_ms: args.lease_ms,
+        grace_ms: args.grace_ms,
+        timeout_ms: args.timeout_ms,
+        calib_dir: calib.clone(),
+    };
+    let service = Service::bind(cfg)?;
+    println!("[service] coordinator on {} ({} spawned workers)", service.addr(), workers);
+    let summary = service.run()?;
+    report::banner("service run");
     println!(
-        "{n} shard processes, wall {:.1} ms; calibration cache: {}",
-        total.elapsed().as_secs_f64() * 1e3,
+        "{} units, {} leases ({} expired, {} duplicates, {} failures), \
+         {} run inline, wall {:.1} ms; calibration cache: {}",
+        summary.units,
+        summary.stats.leased,
+        summary.stats.expired,
+        summary.stats.duplicates,
+        summary.stats.failures,
+        summary.inline_units,
+        summary.wall_ms,
         calib.display()
     );
-    for path in &merged {
+    for note in &summary.worker_notes {
+        println!("[warn] {note}");
+    }
+    for path in &summary.merged {
         println!("[csv] {} (merged)", path.display());
     }
+    Ok(())
+}
+
+/// The `work` subcommand: serve leases until the coordinator says done.
+fn run_work(args: &Args) -> Result<(), String> {
+    let connect = args.connect.clone().expect("parse() requires --connect for work");
+    // Workers share the fleet's calibration cache when the coordinator
+    // (or the operator) exported one.
+    if let Some(dir) = std::env::var_os("SMACK_CALIB_DIR").filter(|v| !v.is_empty()) {
+        Sessions::global().attach_disk_cache(PathBuf::from(dir));
+    }
+    let id = std::env::var("SMACK_WORKER_INDEX")
+        .ok()
+        .filter(|v| !v.is_empty())
+        .map_or_else(|| format!("worker-pid{}", std::process::id()), |i| format!("worker-{i}"));
+    let cfg = WorkerConfig { connect, threads: args.threads, id, chaos: ChaosPlan::from_env() };
+    let summary = run_worker(&cfg)?;
+    println!(
+        "[{}] {} units completed, {} duplicates discarded, {} failures",
+        cfg.id, summary.completed, summary.duplicates, summary.failures
+    );
     Ok(())
 }
 
@@ -279,16 +400,22 @@ fn run_inner(argv: &[String], default: Selection) -> Result<(), String> {
         print_list();
         return Ok(());
     }
+    if args.cmd == Cmd::Work {
+        return run_work(&args);
+    }
     let out_root = args.out.clone().unwrap_or_else(report::default_repro_dir);
     if args.merge {
         return run_merge(&args.names, &out_root);
     }
     let selection = resolve(&args.names, default)?;
+    if args.cmd == Cmd::Coordinate {
+        return run_service(&args, args.workers.unwrap_or(0), &selection, &out_root);
+    }
     match args.shards {
-        // One shard of one is just the unsharded run — no child process,
+        // One shard of one is just the unsharded run — no worker fleet,
         // no tagged CSVs, nothing to merge.
         Some(1) | None => {}
-        Some(n) => return run_sharded(&args, n, &selection, &out_root),
+        Some(n) => return run_service(&args, n, &selection, &out_root),
     }
 
     // Persistent calibration cache: attach before the first experiment so
@@ -360,6 +487,30 @@ mod tests {
         assert!(parse(&strings(&["--wat"])).is_err());
         assert!(parse(&strings(&["--merge", "--shards", "2"])).is_err());
         assert!(parse(&strings(&["--shards", "2", "--shard", "1/2"])).is_err());
+    }
+
+    #[test]
+    fn parses_service_subcommands() {
+        let c = parse(&strings(&["coordinate", "fig5", "--workers=3", "--lease-ms", "500"]))
+            .expect("coordinate with workers and lease period should parse");
+        assert_eq!(c.cmd, Cmd::Coordinate);
+        assert_eq!(c.names, vec!["fig5"]);
+        assert_eq!(c.workers, Some(3));
+        assert_eq!(c.lease_ms, 500);
+        assert_eq!(c.timeout_ms, DEFAULT_TIMEOUT_MS);
+
+        let w = parse(&strings(&["work", "--connect=127.0.0.1:9", "--threads", "2"]))
+            .expect("work with a connect address should parse");
+        assert_eq!(w.cmd, Cmd::Work);
+        assert_eq!(w.connect.as_deref(), Some("127.0.0.1:9"));
+        assert_eq!(w.threads, Some(2));
+
+        assert!(parse(&strings(&["work"])).is_err(), "work needs --connect");
+        assert!(parse(&strings(&["work", "--connect=x", "fig5"])).is_err());
+        assert!(parse(&strings(&["coordinate", "--shards", "2"])).is_err());
+        assert!(parse(&strings(&["--workers", "2"])).is_err(), "--workers is coordinate-only");
+        assert!(parse(&strings(&["fig5", "--connect=x"])).is_err());
+        assert!(parse(&strings(&["coordinate", "--lease-ms", "0"])).is_err());
     }
 
     #[test]

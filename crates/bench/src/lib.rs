@@ -29,9 +29,11 @@
 //!
 //! Every binary accepts `--full` (paper-scale sample counts), `--threads
 //! N` (trial-runner workers), `--shard K/N` (run this slice of the unit
-//! space, emitting mergeable unit-tagged CSVs), `--shards N` (spawn one
-//! process per shard and merge, bit-identical to the unsharded run),
-//! `--out DIR`, `--tau-jitter N` and `--list` — see [`cli`].
+//! space, emitting mergeable unit-tagged CSVs), `--shards N` (distribute
+//! over a worker fleet via the fault-tolerant experiment [`service`],
+//! bit-identical to the unsharded run), `--out DIR`, `--tau-jitter N`
+//! and `--list`, plus the `coordinate`/`work` service subcommands — see
+//! [`cli`].
 
 pub mod ablations;
 pub mod cli;
@@ -39,6 +41,7 @@ pub mod experiments;
 pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod service;
 
 /// Run mode for the harnesses.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]

@@ -62,13 +62,27 @@ pub struct Ctx {
     unit_base: usize,
     out_dir: Option<PathBuf>,
     tau_jitter: u64,
+    /// Explicit local unit ownership, overriding the shard filter — how
+    /// the experiment service executes exactly one leased unit.
+    unit_filter: Option<Vec<usize>>,
+    /// Emit unit-tagged CSVs even on a solo shard (service workers write
+    /// mergeable partials from a solo-sharded runner).
+    force_tagged: bool,
 }
 
 impl Ctx {
     /// A context that owns every unit and writes to the default output
     /// directory — what the unsharded harness and the tests use.
     pub fn solo(mode: Mode, runner: Runner) -> Ctx {
-        Ctx { mode, runner, unit_base: 0, out_dir: None, tau_jitter: 0 }
+        Ctx {
+            mode,
+            runner,
+            unit_base: 0,
+            out_dir: None,
+            tau_jitter: 0,
+            unit_filter: None,
+            force_tagged: false,
+        }
     }
 
     /// Replace the CSV output directory (`None` = `target/repro/`).
@@ -86,6 +100,22 @@ impl Ctx {
     /// Set the τ_w jitter amplitude (see `smack::probe::jittered_wait`).
     pub fn with_tau_jitter(mut self, jitter: u64) -> Ctx {
         self.tau_jitter = jitter;
+        self
+    }
+
+    /// Restrict this context to an explicit set of local unit indices,
+    /// overriding the runner's shard filter — the experiment service uses
+    /// a single-unit filter per lease. Out-of-range indices are ignored.
+    pub fn with_unit_filter(mut self, units: Vec<usize>) -> Ctx {
+        self.unit_filter = Some(units);
+        self
+    }
+
+    /// Emit unit-tagged (mergeable partial) CSVs regardless of shard
+    /// configuration — service workers run a solo-sharded runner but must
+    /// produce partials the coordinator can merge.
+    pub fn with_forced_tagging(mut self) -> Ctx {
+        self.force_tagged = true;
         self
     }
 
@@ -109,18 +139,29 @@ impl Ctx {
 
     /// The unit indices in `0..total` this process owns, ascending.
     pub fn units(&self, total: usize) -> Vec<usize> {
-        self.runner.owned_units(self.unit_base, total)
+        match &self.unit_filter {
+            Some(filter) => {
+                let mut units: Vec<usize> = filter.iter().copied().filter(|u| *u < total).collect();
+                units.sort_unstable();
+                units.dedup();
+                units
+            }
+            None => self.runner.owned_units(self.unit_base, total),
+        }
     }
 
     /// Whether this process owns unit `unit`.
     pub fn owns(&self, unit: usize) -> bool {
-        self.runner.shard().owns(self.unit_base + unit)
+        match &self.unit_filter {
+            Some(filter) => filter.contains(&unit),
+            None => self.runner.shard().owns(self.unit_base + unit),
+        }
     }
 
     /// Write a table as this experiment's CSV `name`, unit-tagged when
     /// the run is sharded (reporting, but not aborting on, I/O errors).
     pub fn write_csv(&self, table: &Table, name: &str) {
-        let tagged = !self.runner.shard().is_solo();
+        let tagged = self.force_tagged || !self.runner.shard().is_solo();
         match table.try_write_csv_in(self.out_dir.as_deref(), name, tagged) {
             Ok(path) => println!("[csv] {}", path.display()),
             Err(e) => eprintln!("warning: could not write {name}.csv: {e}"),

@@ -112,7 +112,7 @@ impl Table {
         fs::create_dir_all(&dir)
             .map_err(|e| io::Error::new(e.kind(), format!("creating {}: {e}", dir.display())))?;
         let path = dir.join(format!("{name}.csv"));
-        fs::write(&path, self.to_csv(tagged))?;
+        write_atomic(&path, self.to_csv(tagged).as_bytes())?;
         Ok(path)
     }
 
@@ -135,6 +135,64 @@ impl Table {
         }
         out
     }
+}
+
+/// Write `contents` to `path` atomically: write a sibling temp file,
+/// then rename over the destination. A process killed mid-write leaves
+/// at worst a stray temp file — readers (and shard merges) never observe
+/// a torn or half-written CSV at `path`.
+///
+/// # Errors
+///
+/// Propagates failures from writing the temp file or renaming it.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let file_name = path.file_name().map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+    let tmp = dir.join(format!(".tmp-{}-{file_name}", std::process::id()));
+    fs::write(&tmp, contents)
+        .map_err(|e| io::Error::new(e.kind(), format!("writing {}: {e}", tmp.display())))?;
+    fs::rename(&tmp, path).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        io::Error::new(e.kind(), format!("renaming {} into place: {e}", tmp.display()))
+    })
+}
+
+/// Validate one unit-tagged partial CSV before trusting it in a merge: a
+/// torn file (killed writer, truncated copy, half-sent frame) must be
+/// rejected here, not silently merged into corrupt output.
+///
+/// Checks: non-empty; a `unit,`-tagged header; a trailing newline (a
+/// torn write cuts mid-row, losing it); and on every row a parseable
+/// unit tag plus exactly the header's field count.
+///
+/// # Errors
+///
+/// Returns a description of the first defect found.
+pub fn validate_partial_csv(text: &str) -> Result<(), String> {
+    if text.is_empty() {
+        return Err("file is empty".to_owned());
+    }
+    if !text.ends_with('\n') {
+        return Err("file is truncated (no trailing newline)".to_owned());
+    }
+    let mut lines = text.lines();
+    let header = lines.next().expect("non-empty text has a first line");
+    if !header.starts_with("unit,") {
+        return Err(format!("missing the unit tag column in header {header:?}"));
+    }
+    let fields = header.split(',').count();
+    for (ri, line) in lines.enumerate() {
+        let (unit, _) =
+            line.split_once(',').ok_or_else(|| format!("row {ri} has no unit tag: {line:?}"))?;
+        if unit.parse::<usize>().is_err() {
+            return Err(format!("row {ri}: bad unit tag {unit:?}"));
+        }
+        let got = line.split(',').count();
+        if got != fields {
+            return Err(format!("row {ri} has {got} fields, header has {fields} (torn write?)"));
+        }
+    }
+    Ok(())
 }
 
 /// The default CSV output directory, `<target>/repro` (not created).
@@ -168,8 +226,9 @@ pub fn repro_path(name: &str) -> io::Result<PathBuf> {
 ///
 /// # Errors
 ///
-/// Returns a description of malformed input: empty part, missing or
-/// mismatched header, untagged row, or a unit present in several parts.
+/// Returns a description of malformed input: empty or truncated part,
+/// missing or mismatched header, untagged or torn row, or a unit present
+/// in several parts.
 pub fn merge_csvs(parts: &[String]) -> Result<String, String> {
     if parts.is_empty() {
         return Err("no shard CSVs to merge".to_owned());
@@ -178,6 +237,7 @@ pub fn merge_csvs(parts: &[String]) -> Result<String, String> {
     // (unit, within-part row index, part index, row text)
     let mut rows: Vec<(usize, usize, usize, &str)> = Vec::new();
     for (pi, part) in parts.iter().enumerate() {
+        validate_partial_csv(part).map_err(|e| format!("shard CSV {pi}: {e}"))?;
         let mut lines = part.lines();
         let h = lines.next().ok_or_else(|| format!("shard CSV {pi} is empty"))?;
         let h = h
@@ -247,7 +307,17 @@ pub fn merge_shard_dirs(shard_dirs: &[PathBuf], dest: &Path) -> io::Result<Vec<P
         let mut parts: Vec<String> = Vec::with_capacity(shard_dirs.len());
         for dir in shard_dirs {
             match fs::read_to_string(dir.join(&name)) {
-                Ok(part) => parts.push(part),
+                Ok(part) => {
+                    // Reject torn or header-less partials by name before
+                    // they can poison the merged output.
+                    validate_partial_csv(&part).map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("{}: {e}", dir.join(&name).display()),
+                        )
+                    })?;
+                    parts.push(part);
+                }
                 Err(e) if e.kind() == io::ErrorKind::NotFound => {}
                 Err(e) => {
                     return Err(io::Error::new(
@@ -260,7 +330,7 @@ pub fn merge_shard_dirs(shard_dirs: &[PathBuf], dest: &Path) -> io::Result<Vec<P
         let merged = merge_csvs(&parts)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{name}: {e}")))?;
         let path = dest.join(&name);
-        fs::write(&path, merged)?;
+        write_atomic(&path, merged.as_bytes())?;
         written.push(path);
     }
     Ok(written)
@@ -333,6 +403,74 @@ mod tests {
         assert!(merge_csvs(&[good.clone(), other_header]).is_err(), "header mismatch");
         let dup = tagged_csv(&[(0, "q,r")]);
         assert!(merge_csvs(&[good, dup]).is_err(), "unit owned twice");
+    }
+
+    #[test]
+    fn merge_rejects_truncated_and_torn_parts() {
+        let good = tagged_csv(&[(0, "x,y"), (1, "p,q")]);
+        // A torn write cuts mid-row: no trailing newline.
+        let truncated = good.trim_end_matches('\n').to_owned();
+        let err = merge_csvs(&[truncated]).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        // A torn row that still ends in a newline is caught by the field
+        // count.
+        let torn_row = "unit,a,b\n0,x,y\n1,p\n".to_owned();
+        let err = merge_csvs(&[torn_row]).unwrap_err();
+        assert!(err.contains("torn") || err.contains("fields"), "{err}");
+    }
+
+    #[test]
+    fn validate_partial_csv_names_each_defect() {
+        assert!(validate_partial_csv("unit,a,b\n0,x,y\n").is_ok());
+        for (text, needle) in [
+            ("", "empty"),
+            ("a,b\n0,x\n", "unit tag column"),
+            ("unit,a,b\n0,x,y", "truncated"),
+            ("unit,a,b\nnope\n", "unit tag"),
+            ("unit,a,b\nx,y,z\n", "bad unit tag"),
+            ("unit,a,b\n0,x\n", "fields"),
+        ] {
+            let err = validate_partial_csv(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn merge_shard_dirs_names_the_offending_file() {
+        let base = std::env::temp_dir().join(format!("smack-report-torn-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&base);
+        let good_dir = base.join("good");
+        let bad_dir = base.join("bad");
+        fs::create_dir_all(&good_dir).unwrap();
+        fs::create_dir_all(&bad_dir).unwrap();
+        fs::write(good_dir.join("x.csv"), tagged_csv(&[(0, "x,y")])).unwrap();
+        // The torn partial: killed mid-write, last row cut short.
+        fs::write(bad_dir.join("x.csv"), "unit,a,b\n1,p").unwrap();
+        let err = merge_shard_dirs(&[good_dir, bad_dir.clone()], &base.join("merged"))
+            .expect_err("torn partial must be rejected");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("bad") && msg.contains("x.csv") && msg.contains("truncated"),
+            "error must name the torn file: {msg}"
+        );
+        let _ = fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn atomic_writes_land_complete_and_leave_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("smack-report-atomic-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_atomic(&path, b"a,b\n1,2\n").unwrap();
+        write_atomic(&path, b"a,b\n3,4\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "a,b\n3,4\n");
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["t.csv"], "no stray temp files");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

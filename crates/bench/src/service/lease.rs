@@ -1,0 +1,318 @@
+//! The coordinator's work queue: (experiment, unit) leases with
+//! heartbeat-extended deadlines.
+//!
+//! Every unit of the run's selection is one slot. A worker *leases* a
+//! pending slot and must heartbeat before the deadline or the lease
+//! expires and the slot returns to the pending queue — that is the whole
+//! fault model: a dead, hung or partitioned worker merely delays its
+//! units by one lease period. Results are accepted exactly once per unit
+//! (first writer wins); late results from expired leases are reported as
+//! duplicates and discarded, which keeps merged output free of
+//! double-counted units no matter how often a unit was re-leased.
+//!
+//! A unit that *fails* (worker-reported error or torn payload) re-queues
+//! with an attempt budget; exhausting [`MAX_ATTEMPTS`] parks it in
+//! `Exhausted`, so a deterministically broken unit can never spin the
+//! service forever.
+//!
+//! Time is an explicit `now_ms` argument on every method — the queue
+//! never reads a clock — so expiry logic is unit-testable to the
+//! millisecond.
+
+use super::UnitTask;
+
+/// Attempts (initial + retries) before a unit is declared exhausted.
+pub const MAX_ATTEMPTS: u32 = 5;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Slot {
+    /// Waiting for a worker.
+    Pending,
+    /// Leased out; expires at `deadline_ms` unless heartbeated.
+    Leased { worker: String, deadline_ms: u64 },
+    /// Result accepted.
+    Done,
+    /// Failed [`MAX_ATTEMPTS`] times; `last_error` names the latest cause.
+    Exhausted { last_error: String },
+}
+
+/// Outcome of offering a result to the queue.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Accept {
+    /// First result for this unit — caller should persist it.
+    First,
+    /// The unit already completed — caller must discard the payload.
+    Duplicate,
+}
+
+/// Monotonic counters describing everything the queue has seen.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LeaseStats {
+    /// Leases handed out (including re-leases).
+    pub leased: u64,
+    /// Leases that expired without a result.
+    pub expired: u64,
+    /// Results discarded as duplicates.
+    pub duplicates: u64,
+    /// Failure reports (worker errors, torn payloads).
+    pub failures: u64,
+}
+
+/// The lease queue. See the [module documentation](self).
+#[derive(Debug)]
+pub struct LeaseQueue {
+    tasks: Vec<UnitTask>,
+    slots: Vec<Slot>,
+    attempts: Vec<u32>,
+    lease_ms: u64,
+    stats: LeaseStats,
+}
+
+impl LeaseQueue {
+    /// A queue over `tasks` (indexed by their `global` id, which must be
+    /// `0..tasks.len()` in order) with the given lease period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if task `i` does not carry global id `i` — the queue's
+    /// slot indexing *is* the global unit numbering.
+    pub fn new(tasks: Vec<UnitTask>, lease_ms: u64) -> LeaseQueue {
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.global, i, "task {i} carries global id {}", t.global);
+        }
+        let n = tasks.len();
+        LeaseQueue {
+            tasks,
+            slots: vec![Slot::Pending; n],
+            attempts: vec![0; n],
+            lease_ms,
+            stats: LeaseStats::default(),
+        }
+    }
+
+    /// The lease period.
+    pub fn lease_ms(&self) -> u64 {
+        self.lease_ms
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> LeaseStats {
+        self.stats
+    }
+
+    /// Re-queue every lease whose deadline has passed, returning the
+    /// re-queued unit ids. Called internally by [`LeaseQueue::next`];
+    /// exposed for coordinator ticks between polls.
+    pub fn expire(&mut self, now_ms: u64) -> Vec<usize> {
+        let mut expired = Vec::new();
+        for i in 0..self.slots.len() {
+            let overdue = matches!(&self.slots[i],
+                Slot::Leased { deadline_ms, .. } if now_ms >= *deadline_ms);
+            if overdue {
+                self.stats.expired += 1;
+                self.attempts[i] += 1;
+                self.slots[i] = if self.attempts[i] >= MAX_ATTEMPTS {
+                    Slot::Exhausted { last_error: "lease expired repeatedly".to_owned() }
+                } else {
+                    Slot::Pending
+                };
+                expired.push(i);
+            }
+        }
+        expired
+    }
+
+    /// Lease the lowest pending unit to `worker`, after expiring overdue
+    /// leases. `None` when nothing is pending (work may still be in
+    /// flight — see [`LeaseQueue::all_done`]).
+    pub fn next(&mut self, worker: &str, now_ms: u64) -> Option<UnitTask> {
+        self.expire(now_ms);
+        let i = self.slots.iter().position(|s| *s == Slot::Pending)?;
+        self.slots[i] =
+            Slot::Leased { worker: worker.to_owned(), deadline_ms: now_ms + self.lease_ms };
+        self.stats.leased += 1;
+        Some(self.tasks[i].clone())
+    }
+
+    /// Extend the lease on `unit` if `worker` still holds it. `false`
+    /// means the lease was lost (expired and possibly re-leased) — the
+    /// worker may finish anyway; its result will be deduplicated.
+    pub fn heartbeat(&mut self, unit: usize, worker: &str, now_ms: u64) -> bool {
+        match self.slots.get_mut(unit) {
+            Some(Slot::Leased { worker: w, deadline_ms }) if w == worker => {
+                *deadline_ms = now_ms + self.lease_ms;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Offer a result for `unit`. The first offer wins; any later offer
+    /// (re-leased duplicate, late result from an expired lease) is
+    /// reported as [`Accept::Duplicate`] and must be discarded.
+    pub fn complete(&mut self, unit: usize) -> Accept {
+        match self.slots.get(unit) {
+            Some(Slot::Done) => {
+                self.stats.duplicates += 1;
+                Accept::Duplicate
+            }
+            _ => {
+                self.slots[unit] = Slot::Done;
+                Accept::First
+            }
+        }
+    }
+
+    /// Report a failed attempt on `unit` (worker error, torn payload).
+    /// Re-queues the unit until its attempt budget runs out.
+    pub fn fail(&mut self, unit: usize, error: &str) {
+        if matches!(self.slots.get(unit), Some(Slot::Done)) {
+            return;
+        }
+        self.stats.failures += 1;
+        self.attempts[unit] += 1;
+        self.slots[unit] = if self.attempts[unit] >= MAX_ATTEMPTS {
+            Slot::Exhausted { last_error: error.to_owned() }
+        } else {
+            Slot::Pending
+        };
+    }
+
+    /// Whether `unit` already has an accepted result.
+    pub fn is_done(&self, unit: usize) -> bool {
+        matches!(self.slots.get(unit), Some(Slot::Done))
+    }
+
+    /// Whether every unit has a result.
+    pub fn all_done(&self) -> bool {
+        self.slots.iter().all(|s| *s == Slot::Done)
+    }
+
+    /// Whether no further progress is possible or needed: every unit is
+    /// either done or exhausted.
+    pub fn settled(&self) -> bool {
+        self.slots.iter().all(|s| matches!(s, Slot::Done | Slot::Exhausted { .. }))
+    }
+
+    /// Units that exhausted their attempt budget, with their last error.
+    pub fn exhausted(&self) -> Vec<(UnitTask, String)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Exhausted { last_error } => Some((self.tasks[i].clone(), last_error.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Units not yet done (pending or in flight), for timeout reports.
+    pub fn outstanding(&self) -> Vec<UnitTask> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !matches!(s, Slot::Done))
+            .map(|(i, _)| self.tasks[i].clone())
+            .collect()
+    }
+
+    /// Total unit count.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the queue holds no units at all.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tasks(n: usize) -> Vec<UnitTask> {
+        (0..n).map(|i| UnitTask { global: i, exp: format!("exp{i}"), local: 0 }).collect()
+    }
+
+    #[test]
+    fn leases_in_unit_order_and_tracks_deadlines() {
+        let mut q = LeaseQueue::new(tasks(2), 100);
+        let a = q.next("w1", 0).unwrap();
+        let b = q.next("w2", 0).unwrap();
+        assert_eq!((a.global, b.global), (0, 1));
+        assert!(q.next("w3", 50).is_none(), "nothing pending while both leased");
+        assert_eq!(q.stats().leased, 2);
+    }
+
+    #[test]
+    fn expired_leases_requeue_and_heartbeats_extend() {
+        let mut q = LeaseQueue::new(tasks(1), 100);
+        q.next("w1", 0).unwrap();
+        // A heartbeat at 80 pushes the deadline to 180.
+        assert!(q.heartbeat(0, "w1", 80));
+        assert!(q.next("w2", 120).is_none(), "lease still live at 120");
+        // No further heartbeat: at 180 the lease expires and re-leases.
+        let release = q.next("w2", 180).expect("expired lease re-queues");
+        assert_eq!(release.global, 0);
+        assert_eq!(q.stats().expired, 1);
+        // The original holder has lost it.
+        assert!(!q.heartbeat(0, "w1", 190));
+        assert!(q.heartbeat(0, "w2", 190));
+    }
+
+    #[test]
+    fn results_deduplicate_by_unit_id() {
+        let mut q = LeaseQueue::new(tasks(1), 100);
+        q.next("w1", 0).unwrap();
+        assert_eq!(q.complete(0), Accept::First);
+        assert_eq!(q.complete(0), Accept::Duplicate, "late duplicate discarded");
+        assert_eq!(q.stats().duplicates, 1);
+        assert!(q.all_done());
+        // A failure report after completion changes nothing.
+        q.fail(0, "too late");
+        assert!(q.all_done());
+        assert_eq!(q.stats().failures, 0);
+    }
+
+    #[test]
+    fn late_result_from_an_expired_lease_still_counts_once() {
+        let mut q = LeaseQueue::new(tasks(1), 100);
+        q.next("w1", 0).unwrap();
+        q.next("w2", 200).expect("re-leased after expiry");
+        // The stalled original worker reports first; the re-lease's
+        // result then arrives and is dropped.
+        assert_eq!(q.complete(0), Accept::First);
+        assert_eq!(q.complete(0), Accept::Duplicate);
+        assert!(q.all_done());
+    }
+
+    #[test]
+    fn failures_requeue_until_the_attempt_budget_runs_out() {
+        let mut q = LeaseQueue::new(tasks(1), 100);
+        for attempt in 0..MAX_ATTEMPTS {
+            assert!(!q.settled(), "attempt {attempt} should still be possible");
+            q.next("w1", 0).expect("re-queued after failure");
+            q.fail(0, "torn payload");
+        }
+        assert!(q.settled(), "attempt budget exhausted");
+        assert!(!q.all_done());
+        assert!(q.next("w1", 0).is_none(), "exhausted units never re-lease");
+        let exhausted = q.exhausted();
+        assert_eq!(exhausted.len(), 1);
+        assert_eq!(exhausted[0].1, "torn payload");
+    }
+
+    #[test]
+    fn repeated_expiry_also_exhausts() {
+        let mut q = LeaseQueue::new(tasks(1), 10);
+        let mut now = 0;
+        for _ in 0..MAX_ATTEMPTS {
+            assert!(q.next("w1", now).is_some());
+            now += 20;
+        }
+        assert!(q.next("w1", now).is_none());
+        assert!(q.settled());
+        assert_eq!(q.outstanding().len(), 1);
+    }
+}

@@ -1,0 +1,331 @@
+//! Wire protocol between workers and the coordinator.
+//!
+//! One loopback TCP connection per message, newline-framed headers with
+//! byte-counted CSV payloads — deliberately HTTP-shaped so a half-dead
+//! worker can never wedge a long-lived stream: every request is a fresh
+//! connect, one request frame, one response line, close. The coordinator
+//! serves each connection on a short-lived thread under socket read
+//! timeouts, so a client that stalls mid-frame costs one thread for the
+//! timeout, never the service.
+//!
+//! Requests:
+//!
+//! ```text
+//! POLL <worker>                          → LEASE …  | WAIT <ms> | DONE
+//! BEAT <worker> <unit>                   → OK | LOST
+//! RESULT <worker> <unit> <nfiles>
+//!   FILE <name> <nbytes>\n<raw bytes>\n  (× nfiles)                → OK | DUP | BAD <msg>
+//! FAIL <worker> <unit> <message…>        → OK
+//! ```
+//!
+//! The `LEASE` response carries everything a worker needs to execute a
+//! unit: `LEASE <unit> <exp> <local> <mode> <tau_jitter> <lease_ms>`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use super::{mode_token, parse_mode, UnitTask};
+use crate::Mode;
+
+/// Socket read/write timeout: generous against scheduler hiccups, small
+/// enough that a wedged peer releases its handler thread promptly.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A request a worker sends the coordinator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Ask for a lease.
+    Poll { worker: String },
+    /// Extend a held lease.
+    Beat { worker: String, unit: usize },
+    /// Deliver a unit's partial CSVs: `(file name, file text)`.
+    Result { worker: String, unit: usize, files: Vec<(String, String)> },
+    /// Report a failed unit.
+    Fail { worker: String, unit: usize, error: String },
+}
+
+/// A coordinator response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// A lease: the unit plus the execution parameters it needs.
+    Lease { task: UnitTask, mode: Mode, tau_jitter: u64, lease_ms: u64 },
+    /// Nothing pending right now; poll again after `ms`.
+    Wait { ms: u64 },
+    /// The run is over; the worker should exit cleanly.
+    Done,
+    /// Beat/result/fail acknowledged.
+    Ok,
+    /// The result was a duplicate and was discarded.
+    Dup,
+    /// The lease was lost (beat) or the payload was rejected (result).
+    Bad { reason: String },
+}
+
+fn io_err(e: std::io::Error, what: &str) -> String {
+    format!("{what}: {e}")
+}
+
+/// Percent-encode spaces/newlines so error texts survive line framing.
+fn enc(s: &str) -> String {
+    s.replace('%', "%25").replace(' ', "%20").replace('\n', "%0a")
+}
+
+fn dec(s: &str) -> String {
+    s.replace("%0a", "\n").replace("%20", " ").replace("%25", "%")
+}
+
+/// Write `req` onto `stream` as one frame.
+///
+/// # Errors
+///
+/// Propagates socket I/O failures, stringified.
+pub fn write_request(stream: &mut TcpStream, req: &Request) -> Result<(), String> {
+    let mut frame = String::new();
+    match req {
+        Request::Poll { worker } => frame.push_str(&format!("POLL {}\n", enc(worker))),
+        Request::Beat { worker, unit } => frame.push_str(&format!("BEAT {} {unit}\n", enc(worker))),
+        Request::Result { worker, unit, files } => {
+            frame.push_str(&format!("RESULT {} {unit} {}\n", enc(worker), files.len()));
+            for (name, text) in files {
+                frame.push_str(&format!("FILE {} {}\n", enc(name), text.len()));
+                frame.push_str(text);
+                frame.push('\n');
+            }
+        }
+        Request::Fail { worker, unit, error } => {
+            frame.push_str(&format!("FAIL {} {unit} {}\n", enc(worker), enc(error)));
+        }
+    }
+    stream.write_all(frame.as_bytes()).map_err(|e| io_err(e, "sending request"))
+}
+
+/// Read one request frame.
+///
+/// # Errors
+///
+/// Returns a description of I/O failures or malformed frames.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| io_err(e, "reading request"))?;
+    let mut f = line.split_ascii_whitespace();
+    let verb = f.next().ok_or("empty request")?;
+    let worker = dec(f.next().ok_or("request missing worker id")?);
+    let parse_unit = |f: &mut std::str::SplitAsciiWhitespace| -> Result<usize, String> {
+        f.next()
+            .ok_or("request missing unit")?
+            .parse::<usize>()
+            .map_err(|e| format!("bad unit: {e}"))
+    };
+    match verb {
+        "POLL" => Ok(Request::Poll { worker }),
+        "BEAT" => Ok(Request::Beat { worker, unit: parse_unit(&mut f)? }),
+        "FAIL" => {
+            let unit = parse_unit(&mut f)?;
+            let error = dec(f.next().unwrap_or(""));
+            Ok(Request::Fail { worker, unit, error })
+        }
+        "RESULT" => {
+            let unit = parse_unit(&mut f)?;
+            let nfiles = f
+                .next()
+                .and_then(|n| n.parse::<usize>().ok())
+                .filter(|n| *n <= 64)
+                .ok_or("bad file count")?;
+            let mut files = Vec::with_capacity(nfiles);
+            for _ in 0..nfiles {
+                let mut header = String::new();
+                reader.read_line(&mut header).map_err(|e| io_err(e, "reading file header"))?;
+                let mut h = header.split_ascii_whitespace();
+                if h.next() != Some("FILE") {
+                    return Err(format!("expected FILE header, got {header:?}"));
+                }
+                let name = dec(h.next().ok_or("FILE header missing name")?);
+                let nbytes = h
+                    .next()
+                    .and_then(|n| n.parse::<usize>().ok())
+                    .filter(|n| *n <= 64 << 20)
+                    .ok_or("bad FILE byte count")?;
+                let mut buf = vec![0u8; nbytes + 1];
+                reader.read_exact(&mut buf).map_err(|e| io_err(e, "reading file payload"))?;
+                if buf.pop() != Some(b'\n') {
+                    return Err("file payload missing frame terminator".to_owned());
+                }
+                let text =
+                    String::from_utf8(buf).map_err(|e| format!("file payload not UTF-8: {e}"))?;
+                files.push((name, text));
+            }
+            Ok(Request::Result { worker, unit, files })
+        }
+        other => Err(format!("unknown request verb {other:?}")),
+    }
+}
+
+/// Write `resp` as one line.
+///
+/// # Errors
+///
+/// Propagates socket I/O failures, stringified.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> Result<(), String> {
+    let line = match resp {
+        Response::Lease { task, mode, tau_jitter, lease_ms } => format!(
+            "LEASE {} {} {} {} {tau_jitter} {lease_ms}\n",
+            task.global,
+            enc(&task.exp),
+            task.local,
+            mode_token(*mode)
+        ),
+        Response::Wait { ms } => format!("WAIT {ms}\n"),
+        Response::Done => "DONE\n".to_owned(),
+        Response::Ok => "OK\n".to_owned(),
+        Response::Dup => "DUP\n".to_owned(),
+        Response::Bad { reason } => format!("BAD {}\n", enc(reason)),
+    };
+    stream.write_all(line.as_bytes()).map_err(|e| io_err(e, "sending response"))
+}
+
+/// Read one response line.
+///
+/// # Errors
+///
+/// Returns a description of I/O failures or malformed responses.
+pub fn read_response(reader: &mut BufReader<TcpStream>) -> Result<Response, String> {
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| io_err(e, "reading response"))?;
+    let mut f = line.split_ascii_whitespace();
+    match f.next().ok_or("empty response")? {
+        "LEASE" => {
+            fn num(field: Option<&str>, what: &str) -> Result<u64, String> {
+                field
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .ok_or_else(|| format!("LEASE missing {what}"))
+            }
+            let global = num(f.next(), "unit")? as usize;
+            let exp = dec(f.next().ok_or("LEASE missing experiment")?);
+            let local = num(f.next(), "local unit")? as usize;
+            let mode =
+                parse_mode(f.next().ok_or("LEASE missing mode")?).ok_or("LEASE has a bad mode")?;
+            let tau_jitter = num(f.next(), "tau jitter")?;
+            let lease_ms = num(f.next(), "lease period")?;
+            Ok(Response::Lease {
+                task: UnitTask { global, exp, local },
+                mode,
+                tau_jitter,
+                lease_ms,
+            })
+        }
+        "WAIT" => {
+            let ms =
+                f.next().and_then(|v| v.parse::<u64>().ok()).ok_or("WAIT missing milliseconds")?;
+            Ok(Response::Wait { ms })
+        }
+        "DONE" => Ok(Response::Done),
+        "OK" => Ok(Response::Ok),
+        "DUP" => Ok(Response::Dup),
+        "BAD" => Ok(Response::Bad { reason: dec(f.next().unwrap_or("")) }),
+        other => Err(format!("unknown response {other:?}")),
+    }
+}
+
+/// One full client exchange: connect to `addr`, send `req`, read the
+/// response, close.
+///
+/// # Errors
+///
+/// Returns a description of connection or framing failures — callers
+/// treat these as transient and retry with backoff.
+pub fn exchange(addr: &str, req: &Request) -> Result<Response, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("connecting to coordinator {addr}: {e}"))?;
+    stream.set_read_timeout(Some(IO_TIMEOUT)).map_err(|e| io_err(e, "setting read timeout"))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT)).map_err(|e| io_err(e, "setting write timeout"))?;
+    write_request(&mut stream, req)?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Round-trip `req` over a real loopback socket, answering `resp`.
+    fn round_trip(req: Request, resp: Response) -> (Request, Response) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream);
+            let got = read_request(&mut reader).unwrap();
+            let mut stream = reader.into_inner();
+            write_response(&mut stream, &resp).unwrap();
+            got
+        });
+        let got_resp = exchange(&addr, &req).unwrap();
+        (server.join().unwrap(), got_resp)
+    }
+
+    #[test]
+    fn poll_and_lease_round_trip() {
+        let lease = Response::Lease {
+            task: UnitTask { global: 7, exp: "fig5".into(), local: 3 },
+            mode: Mode::Full,
+            tau_jitter: 16,
+            lease_ms: 5000,
+        };
+        let (req, resp) = round_trip(Request::Poll { worker: "w 1".into() }, lease.clone());
+        assert_eq!(req, Request::Poll { worker: "w 1".into() });
+        assert_eq!(resp, lease);
+    }
+
+    #[test]
+    fn result_frames_carry_multi_line_payloads() {
+        let files = vec![
+            ("fig2_intel.csv".into(), "unit,a\n0,1\n0,2\n".into()),
+            ("fig2_amd.csv".into(), "unit,a\n0,9\n".into()),
+        ];
+        let sent = Request::Result { worker: "w".into(), unit: 4, files };
+        let (req, resp) = round_trip(sent.clone(), Response::Ok);
+        assert_eq!(req, sent);
+        assert_eq!(resp, Response::Ok);
+    }
+
+    #[test]
+    fn torn_payloads_survive_framing_byte_for_byte() {
+        // A torn CSV (no trailing newline) must arrive exactly as sent —
+        // the framing adds its own terminator so the payload length is
+        // explicit, not newline-delimited.
+        let torn = "unit,a\n0,1\n0,tr";
+        let sent = Request::Result {
+            worker: "w".into(),
+            unit: 0,
+            files: vec![("x.csv".into(), torn.into())],
+        };
+        let (req, _) = round_trip(sent, Response::Bad { reason: "torn".into() });
+        match req {
+            Request::Result { files, .. } => assert_eq!(files[0].1, torn),
+            other => panic!("wrong request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fail_and_error_texts_escape_whitespace() {
+        let sent = Request::Fail {
+            worker: "w".into(),
+            unit: 2,
+            error: "panic: index 5% out\nof bounds".into(),
+        };
+        let (req, resp) =
+            round_trip(sent.clone(), Response::Bad { reason: "lost lease on unit 2".into() });
+        assert_eq!(req, sent);
+        assert_eq!(resp, Response::Bad { reason: "lost lease on unit 2".into() });
+    }
+
+    #[test]
+    fn wait_done_dup_round_trip() {
+        for resp in [Response::Wait { ms: 50 }, Response::Done, Response::Dup] {
+            let (_, got) = round_trip(Request::Poll { worker: "w".into() }, resp.clone());
+            assert_eq!(got, resp);
+        }
+    }
+}

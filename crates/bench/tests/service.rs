@@ -1,0 +1,150 @@
+//! End-to-end tests of the fault-tolerant experiment service: the merged
+//! CSVs of a distributed run must be byte-identical to a solo run even
+//! when workers are killed mid-experiment, deliver torn CSVs, or hang
+//! past their lease deadline.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use smack_bench::registry;
+use smack_bench::service::chaos::ChaosPlan;
+use smack_bench::service::coordinator::{Service, ServiceConfig};
+use smack_bench::service::worker::{run_worker, WorkerConfig};
+use smack_bench::Mode;
+
+/// A scratch directory for one test, cleaned on entry.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("smack-service-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// Run the `all` binary solo and return its CSV text per name.
+fn solo_run(out: &Path, names: &[&str]) -> Vec<(String, String)> {
+    let status = Command::new(env!("CARGO_BIN_EXE_all"))
+        .args(names)
+        .arg("--threads=2")
+        .arg(format!("--out={}", out.display()))
+        .env_remove("SMACK_CHAOS")
+        .env("SMACK_CALIB_DIR", out.join("calib"))
+        .status()
+        .expect("spawning solo run");
+    assert!(status.success(), "solo run failed: {status}");
+    names.iter().map(|n| (format!("{n}.csv"), read(&out.join(format!("{n}.csv"))))).collect()
+}
+
+/// The headline guarantee: kill one worker after its first unit, hand a
+/// second worker a torn CSV and a stalled heartbeat — the service
+/// re-leases everything lost and the merged CSVs still match the solo
+/// run byte for byte.
+#[test]
+fn chaos_run_merges_byte_identical_to_solo() {
+    let root = scratch("chaos");
+    let names = ["fig5", "table4"];
+    let solo = solo_run(&root.join("solo"), &names);
+
+    let svc_out = root.join("svc");
+    let status = Command::new(env!("CARGO_BIN_EXE_all"))
+        .args(names)
+        .arg("--threads=2")
+        .arg("--shards=2")
+        .arg("--lease-ms=800")
+        .arg("--timeout-ms=120000")
+        .arg(format!("--out={}", svc_out.display()))
+        // Worker 1 dies after its first unit (work lost after execution,
+        // before reporting); worker 2 delivers its first result torn and
+        // stalls its second lease past the deadline.
+        .env("SMACK_CHAOS", "kill-after-unit=1@1,torn-write=1@2,stall-heartbeat=2@2")
+        .env("SMACK_CALIB_DIR", root.join("solo").join("calib"))
+        .status()
+        .expect("spawning service run");
+    assert!(status.success(), "service run failed: {status}");
+
+    for (file, want) in &solo {
+        let got = read(&svc_out.join(file));
+        assert_eq!(&got, want, "{file} differs from the solo run under chaos");
+    }
+}
+
+/// A worker that connects, drops one result (the lease must expire and
+/// re-queue), then keeps serving: the run completes and the dropped unit
+/// appears exactly once. Exercises Service::bind/addr with an in-process
+/// worker thread instead of spawned processes.
+#[test]
+fn dropped_results_expire_and_requeue() {
+    let root = scratch("drop");
+    let names = ["fig5"];
+    let solo = solo_run(&root.join("solo"), &names);
+
+    let svc_out = root.join("svc");
+    let selection = vec![registry::find("fig5").expect("fig5 registered")];
+    let service = Service::bind(ServiceConfig {
+        selection,
+        mode: Mode::Quick,
+        threads: Some(2),
+        tau_jitter: 0,
+        out_root: svc_out.clone(),
+        bind: "127.0.0.1:0".to_owned(),
+        workers: 0,
+        lease_ms: 400,
+        grace_ms: 60_000, // never degrade inline; the worker must do it all
+        timeout_ms: 120_000,
+        calib_dir: root.join("solo").join("calib"),
+    })
+    .expect("bind");
+    let addr = service.addr().to_owned();
+    let worker = std::thread::spawn(move || {
+        run_worker(&WorkerConfig {
+            connect: addr,
+            threads: Some(2),
+            id: "test-worker".to_owned(),
+            chaos: ChaosPlan::parse("drop-result=2", 1).expect("chaos spec parses"),
+        })
+    });
+    let summary = service.run().expect("service completes");
+    let worker_summary = worker.join().expect("worker thread").expect("worker completes");
+
+    assert_eq!(summary.stats.expired, 1, "the dropped result's lease expired");
+    assert!(worker_summary.completed >= 4, "worker re-ran the dropped unit");
+    for (file, want) in &solo {
+        let got = read(&svc_out.join(file));
+        assert_eq!(&got, want, "{file} differs from the solo run after a dropped result");
+    }
+}
+
+/// With no workers at all, the coordinator degrades to in-process
+/// execution after the grace period and still produces the solo bytes.
+#[test]
+fn coordinator_degrades_inline_without_workers() {
+    let root = scratch("inline");
+    let names = ["table4"];
+    let solo = solo_run(&root.join("solo"), &names);
+
+    let svc_out = root.join("svc");
+    let selection = vec![registry::find("table4").expect("table4 registered")];
+    let service = Service::bind(ServiceConfig {
+        selection,
+        mode: Mode::Quick,
+        threads: Some(2),
+        tau_jitter: 0,
+        out_root: svc_out.clone(),
+        bind: "127.0.0.1:0".to_owned(),
+        workers: 0,
+        lease_ms: 5_000,
+        grace_ms: 50,
+        timeout_ms: 120_000,
+        calib_dir: root.join("solo").join("calib"),
+    })
+    .expect("bind");
+    let summary = service.run().expect("inline degradation completes");
+    assert_eq!(summary.inline_units as usize, summary.units, "every unit ran inline");
+    for (file, want) in &solo {
+        let got = read(&svc_out.join(file));
+        assert_eq!(&got, want, "{file} differs from the solo run in degraded mode");
+    }
+}

@@ -170,30 +170,31 @@ impl DiskLayer {
             return;
         }
         let path = self.file_for(profile_fp);
-        let Ok(text) = std::fs::read_to_string(&path) else {
-            return;
-        };
         let entries = self.entries.entry(profile_fp).or_default();
-        let mut lines = text.lines();
-        let header = format!("# smack calibration cache v{DISK_FORMAT_VERSION} {profile_fp:016x}");
-        if lines.next() != Some(header.as_str()) {
-            return;
-        }
-        for line in lines {
-            if let Some((key, value)) = parse_disk_entry(line) {
-                entries.entry(key).or_insert(value);
-            }
+        for (key, value) in read_profile_file(&path, profile_fp) {
+            entries.entry(key).or_insert(value);
         }
     }
 
-    /// Rewrite a profile's file atomically from the mirror.
+    /// Rewrite a profile's file atomically, merged with whatever is on
+    /// disk *right now*. Concurrent workers sharing one `SMACK_CALIB_DIR`
+    /// race here: each re-reads the file, folds its own entries over it,
+    /// and renames a fresh temp file into place. Losing the rename race
+    /// only means the winner's superset (values are pure functions of
+    /// their key, so merge order cannot change any value) — never a lost
+    /// update and never an error.
     fn persist(&self, profile_fp: u64) {
         let Some(entries) = self.entries.get(&profile_fp) else {
             return;
         };
+        let path = self.file_for(profile_fp);
+        let mut merged: DiskEntries = read_profile_file(&path, profile_fp).into_iter().collect();
+        for (key, value) in entries {
+            merged.insert(*key, value.clone());
+        }
         let mut out =
             format!("# smack calibration cache v{DISK_FORMAT_VERSION} {profile_fp:016x}\n");
-        for (key, value) in entries {
+        for (key, value) in &merged {
             out.push_str(&serialize_disk_entry(*key, value));
             out.push('\n');
         }
@@ -202,9 +203,25 @@ impl DiskLayer {
         }
         let tmp = self.dir.join(format!(".tmp-{:016x}-{}", profile_fp, std::process::id()));
         if std::fs::write(&tmp, out).is_ok() {
-            let _ = std::fs::rename(&tmp, self.file_for(profile_fp));
+            let _ = std::fs::rename(&tmp, path);
         }
     }
+}
+
+/// Parse a profile's on-disk cache file. Corrupt, missing or
+/// version-mismatched files read as empty; corrupt lines are skipped.
+/// Shared by the load path and the persist-time merge so both sides
+/// agree on what the file says.
+fn read_profile_file(path: &Path, profile_fp: u64) -> Vec<DiskEntry> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut lines = text.lines();
+    let header = format!("# smack calibration cache v{DISK_FORMAT_VERSION} {profile_fp:016x}");
+    if lines.next() != Some(header.as_str()) {
+        return Vec::new();
+    }
+    lines.filter_map(parse_disk_entry).collect()
 }
 
 /// Stable index of a cold placement for serialization.
@@ -782,6 +799,42 @@ mod tests {
             .expect("recomputes past the bad file");
         assert_eq!(sessions.calibrations().misses(), 1, "bad file forced a compute");
         assert_eq!(sessions.calibrations().disk_hits(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_processes_merge_instead_of_clobbering() {
+        let dir = scratch_dir("merge");
+        // Two caches simulate two worker processes sharing one
+        // SMACK_CALIB_DIR: both load the (empty) file before either
+        // persists — the classic lost-update interleaving.
+        let a = CalibrationCache::default();
+        a.attach_disk(&dir);
+        let b = CalibrationCache::default();
+        b.attach_disk(&dir);
+        let fp = 0x42_u64;
+        let key_a = (fp, ProbeKind::Store, Placement::L2, 7);
+        let key_b = (fp, ProbeKind::Lock, Placement::L2, 7);
+        let val = |kind| {
+            Ok(CalibratedProbe {
+                kind,
+                threshold: 5,
+                hot_is_high: true,
+                hot_mean: 9.0,
+                cold_mean: 1.0,
+            })
+        };
+        assert!(a.disk_lookup(key_a).is_none());
+        assert!(b.disk_lookup(key_b).is_none());
+        a.disk_store(key_a, &val(ProbeKind::Store));
+        // Without the persist-time re-read this write would clobber a's
+        // entry: b's in-memory mirror never saw it.
+        b.disk_store(key_b, &val(ProbeKind::Lock));
+        // A third process sees both entries.
+        let c = CalibrationCache::default();
+        c.attach_disk(&dir);
+        assert_eq!(c.disk_lookup(key_a), Some(val(ProbeKind::Store)));
+        assert_eq!(c.disk_lookup(key_b), Some(val(ProbeKind::Lock)));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
